@@ -1,0 +1,85 @@
+// Command pexp reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	pexp -list                      # enumerate experiments
+//	pexp -exp fig7                  # one experiment
+//	pexp -exp fig7,fig8 -jobs 10000 # bigger trace, several experiments
+//	pexp -exp all -csv out/         # everything, with CSV dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pjs"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		jobs   = flag.Int("jobs", 8000, "jobs per generated trace")
+		seed   = flag.Int64("seed", 1, "trace generator seed")
+		csvDir = flag.String("csv", "", "also write <id>.csv files to this directory")
+		quiet  = flag.Bool("q", false, "suppress progress timing lines")
+		verify = flag.Bool("verify", false, "replay every simulation through the invariant checker")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range pjs.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "pexp: -exp required (or -list); e.g. -exp fig7 or -exp all")
+		os.Exit(2)
+	}
+
+	var selected []pjs.Experiment
+	if *exp == "all" {
+		selected = pjs.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := pjs.ExperimentByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pexp: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	runner := pjs.NewRunner(pjs.ExpConfig{Jobs: *jobs, Seed: *seed, Verify: *verify})
+	for _, e := range selected {
+		start := time.Now()
+		out := e.Run(runner)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s] %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		}
+		fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out.Render())
+		if *csvDir != "" {
+			if csv := out.CSV(); csv != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fatal(err)
+				}
+				path := filepath.Join(*csvDir, e.ID+".csv")
+				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+// Command psim runs one parallel-job-scheduling simulation and prints
+// the paper's per-category metrics.
+//
+// Usage:
+//
+//	psim -model SDSC -jobs 5000 -sched tss:2
+//	psim -trace log.swf -sched ns -filter well
+//	psim -model CTC -sched ss:1.5 -estimates inaccurate -load 1.3 -overhead -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pjs"
+	"pjs/internal/check"
+	"pjs/internal/gantt"
+	"pjs/internal/job"
+	"pjs/internal/metrics"
+	"pjs/internal/report"
+	"pjs/internal/workload"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "SDSC", "synthetic workload model: CTC, SDSC or KTH")
+		traceFile = flag.String("trace", "", "SWF trace file (overrides -model)")
+		jobs      = flag.Int("jobs", 5000, "jobs to generate (synthetic only)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		schedSpec = flag.String("sched", "tss:2", "scheduler: fcfs|conservative|ns|is|ss:SF|tss:SF")
+		estimates = flag.String("estimates", "accurate", "user estimates: accurate or inaccurate")
+		loadF     = flag.Float64("load", 1.0, "load factor (arrival times divided by this)")
+		oh        = flag.Bool("overhead", false, "model suspension/restart overhead (Section V-A)")
+		verify    = flag.Bool("verify", false, "audit the run and check machine invariants")
+		ganttW    = flag.Int("gantt", 0, "draw an ASCII Gantt chart this many columns wide")
+		dump      = flag.String("dump", "", "write per-job results as CSV to this file")
+		contig    = flag.Bool("contiguous", false, "best-fit contiguous processor placement")
+		filter    = flag.String("filter", "all", "metric subset: all, well or bad")
+		coarse    = flag.Bool("coarse", false, "report the 4-way load-variation categories")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	trace, err := loadTrace(*traceFile, *model, *jobs, *seed, *estimates)
+	if err != nil {
+		fatal(err)
+	}
+	if *loadF != 1.0 {
+		trace = trace.ScaleLoad(*loadF)
+	}
+	s, err := pjs.NewScheduler(*schedSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var f metrics.Filter
+	switch *filter {
+	case "all":
+		f = metrics.All
+	case "well":
+		f = metrics.WellEstimated
+	case "bad", "badly":
+		f = metrics.BadlyEstimated
+	default:
+		fatal(fmt.Errorf("unknown -filter %q", *filter))
+	}
+
+	opt := pjs.Options{Audit: *verify || *ganttW > 0, ContiguousAlloc: *contig}
+	if *oh {
+		opt.Overhead = pjs.DiskOverhead().Overhead
+	}
+	res := pjs.Simulate(trace, s, opt)
+	if *verify {
+		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !*oh}); err != nil {
+			fatal(fmt.Errorf("invariant check failed: %v", err))
+		}
+		fmt.Println("invariants: ok")
+	}
+	sum := pjs.Summarize(res, f)
+
+	fmt.Printf("trace=%s machine=%d procs jobs=%d scheduler=%s estimates=%s load=%.2g\n",
+		trace.Name, trace.Procs, len(trace.Jobs), s.Name(), *estimates, *loadF)
+	fmt.Printf("makespan=%ds utilization=%.1f%% suspensions=%d\n",
+		res.Makespan(), 100*res.Utilization, res.Suspensions)
+	fmt.Printf("overall: mean slowdown=%.2f worst slowdown=%.1f mean turnaround=%.0fs (filter=%s, %d jobs)\n\n",
+		sum.Overall.MeanSlowdown, sum.Overall.WorstSlowdown, sum.Overall.MeanTurnaround,
+		f, sum.Overall.Count)
+
+	t := summaryTable(sum, *coarse)
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.Render())
+	}
+	if *ganttW > 0 {
+		fmt.Println()
+		fmt.Print(gantt.Render(res.Audit, gantt.Options{Width: *ganttW}))
+	}
+	if *dump != "" {
+		fh, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WriteJobsCSV(fh, res.Jobs); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "psim: wrote %d job records to %s\n", len(res.Jobs), *dump)
+	}
+}
+
+func loadTrace(file, model string, jobs int, seed int64, estimates string) (*workload.Trace, error) {
+	if file != "" {
+		fh, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		return pjs.ReadSWF(fh, file)
+	}
+	m, ok := pjs.ModelByName(model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (want CTC, SDSC or KTH)", model)
+	}
+	est := pjs.EstimateAccurate
+	switch estimates {
+	case "accurate":
+	case "inaccurate":
+		est = pjs.EstimateInaccurate
+	default:
+		return nil, fmt.Errorf("unknown -estimates %q", estimates)
+	}
+	return pjs.Generate(m, pjs.GenOptions{Jobs: jobs, Seed: seed, Estimates: est}), nil
+}
+
+func summaryTable(sum *metrics.Summary, coarse bool) *report.Table {
+	cols := []string{"count", "mean sd", "median sd", "p95 sd", "worst sd",
+		"mean tat", "worst tat", "mean wait", "suspensions"}
+	fill := func(t *report.Table, row int, c metrics.CatStats) {
+		if c.Count == 0 {
+			return
+		}
+		t.Set(row, 0, float64(c.Count))
+		t.Set(row, 1, c.MeanSlowdown)
+		t.Set(row, 2, c.MedianSlowdown)
+		t.Set(row, 3, c.P95Slowdown)
+		t.Set(row, 4, c.WorstSlowdown)
+		t.Set(row, 5, c.MeanTurnaround)
+		t.Set(row, 6, c.WorstTurnaround)
+		t.Set(row, 7, c.MeanWait)
+		t.Set(row, 8, float64(c.Suspensions))
+	}
+	if coarse {
+		cats := job.AllCategories4()
+		rows := make([]string, len(cats))
+		for i, c := range cats {
+			rows[i] = c.String()
+		}
+		t := report.NewTable("per-category metrics (4-way)", rows, cols)
+		for i, c := range cats {
+			fill(t, i, sum.Cat4(c))
+		}
+		return t
+	}
+	cats := job.AllCategories()
+	rows := make([]string, len(cats))
+	for i, c := range cats {
+		rows[i] = c.String()
+	}
+	t := report.NewTable("per-category metrics (Table I categories)", rows, cols)
+	for i, c := range cats {
+		fill(t, i, sum.Cat(c))
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pjs"
+	"pjs/internal/metrics"
+)
+
+func TestLoadTraceSynthetic(t *testing.T) {
+	tr, err := loadTrace("", "SDSC", 200, 1, "accurate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs != 128 || len(tr.Jobs) != 200 {
+		t.Errorf("procs=%d jobs=%d", tr.Procs, len(tr.Jobs))
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := loadTrace("", "NOPE", 10, 1, "accurate"); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, err := loadTrace("", "CTC", 10, 1, "weird"); err == nil {
+		t.Error("unknown estimate mode should fail")
+	}
+	if _, err := loadTrace("/does/not/exist.swf", "", 0, 0, ""); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadTraceFromSWFFile(t *testing.T) {
+	tr := pjs.Generate(pjs.KTH(), pjs.GenOptions{Jobs: 30, Seed: 4})
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pjs.WriteSWF(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := loadTrace(path, "", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 30 {
+		t.Errorf("jobs = %d, want 30", len(back.Jobs))
+	}
+}
+
+func TestSummaryTableShapes(t *testing.T) {
+	tr := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 300, Seed: 5})
+	s, _ := pjs.NewScheduler("ns")
+	sum := metrics.FromResult(pjs.Simulate(tr, s, pjs.Options{}), metrics.All)
+
+	full := summaryTable(sum, false).Render()
+	if !strings.Contains(full, "VS-Seq") || !strings.Contains(full, "VL-VW") {
+		t.Errorf("16-way table rows missing:\n%s", full)
+	}
+	coarse := summaryTable(sum, true).Render()
+	for _, want := range []string{"SN", "SW", "LN", "LW"} {
+		if !strings.Contains(coarse, want) {
+			t.Errorf("4-way table missing %s:\n%s", want, coarse)
+		}
+	}
+	if !strings.Contains(full, "mean sd") || !strings.Contains(full, "worst tat") {
+		t.Errorf("metric columns missing:\n%s", full)
+	}
+}

@@ -1,0 +1,86 @@
+// Command tracegen emits synthetic workload traces in Standard Workload
+// Format, calibrated to the paper's CTC/SDSC/KTH logs.
+//
+// Usage:
+//
+//	tracegen -model CTC -jobs 20000 -o ctc.swf
+//	tracegen -model SDSC -estimates inaccurate -load 1.3 -o sdsc13.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pjs"
+	"pjs/internal/workload"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "CTC", "workload model: CTC, SDSC or KTH")
+		fitFile   = flag.String("fit", "", "fit the model from this SWF log instead of -model")
+		jobs      = flag.Int("jobs", 10000, "number of jobs")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		estimates = flag.String("estimates", "accurate", "user estimates: accurate, inaccurate or modal")
+		loadF     = flag.Float64("load", 1.0, "load factor")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var m pjs.Model
+	if *fitFile != "" {
+		fh, err := os.Open(*fitFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := pjs.ReadSWF(fh, *fitFile)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+		m = workload.FitModel(tr)
+		fmt.Fprintf(os.Stderr, "tracegen: fitted %s: %d procs, offered load %.2f, diurnal %.2f\n",
+			m.Name, m.Procs, m.OfferedLoad, m.DailyCycle)
+	} else {
+		var ok bool
+		m, ok = pjs.ModelByName(*model)
+		if !ok {
+			fatal(fmt.Errorf("unknown model %q", *model))
+		}
+	}
+	est := pjs.EstimateAccurate
+	switch *estimates {
+	case "accurate":
+	case "inaccurate":
+		est = pjs.EstimateInaccurate
+	case "modal":
+		est = workload.EstimateModal
+	default:
+		fatal(fmt.Errorf("unknown -estimates %q", *estimates))
+	}
+	trace := pjs.Generate(m, pjs.GenOptions{Jobs: *jobs, Seed: *seed, Estimates: est})
+	if *loadF != 1.0 {
+		trace = trace.ScaleLoad(*loadF)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if err := pjs.WriteSWF(w, trace); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, machine %d procs, offered load %.2f\n",
+		len(trace.Jobs), trace.Procs, trace.OfferedLoad())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

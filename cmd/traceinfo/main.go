@@ -1,0 +1,105 @@
+// Command traceinfo prints the paper's workload-characterization tables
+// (Tables I–III, VI–VIII) for an SWF trace or a synthetic model.
+//
+// Usage:
+//
+//	traceinfo -trace log.swf
+//	traceinfo -model SDSC -jobs 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pjs"
+	"pjs/internal/report"
+	"pjs/internal/workload"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "SWF trace file")
+		model     = flag.String("model", "", "synthetic model: CTC, SDSC or KTH")
+		jobs      = flag.Int("jobs", 10000, "jobs to generate (synthetic only)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var trace *workload.Trace
+	switch {
+	case *traceFile != "":
+		fh, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := pjs.ReadSWF(fh, *traceFile)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+		trace = t
+	case *model != "":
+		m, ok := pjs.ModelByName(*model)
+		if !ok {
+			fatal(fmt.Errorf("unknown model %q", *model))
+		}
+		trace = pjs.Generate(m, pjs.GenOptions{Jobs: *jobs, Seed: *seed})
+	default:
+		fmt.Fprintln(os.Stderr, "traceinfo: need -trace or -model")
+		os.Exit(2)
+	}
+
+	first, last := trace.Span()
+	fmt.Printf("trace=%s machine=%d procs jobs=%d\n", trace.Name, trace.Procs, len(trace.Jobs))
+	fmt.Printf("submission span=%ds offered load=%.3f\n\n", last-first, trace.OfferedLoad())
+
+	rows := []string{"0 - 10 min", "10 min - 1 hr", "1 hr - 8 hr", "> 8 hr"}
+	cols := []string{"1 Proc", "2-8 Procs", "9-32 Procs", "> 32 Procs"}
+	t16 := report.NewTable("Job distribution by category (%, Table II/III form)", rows, cols)
+	t16.Precision = 1
+	d := trace.DistributionTable()
+	for l := 0; l < 4; l++ {
+		for w := 0; w < 4; w++ {
+			t16.Set(l, w, 100*d[l][w])
+		}
+	}
+	fmt.Print(t16.Render())
+	fmt.Println()
+
+	t4 := report.NewTable("4-way distribution (%, Table VII/VIII form)",
+		[]string{"<= 1 Hr", "> 1 Hr"}, []string{"<= 8 Procs", "> 8 Procs"})
+	t4.Precision = 1
+	d4 := trace.DistributionTable4()
+	for l := 0; l < 2; l++ {
+		for w := 0; w < 2; w++ {
+			t4.Set(l, w, 100*d4[l][w])
+		}
+	}
+	fmt.Print(t4.Render())
+	fmt.Println()
+
+	tw := report.NewTable("Requested work by category (%, run time × processors)", rows, cols)
+	tw.Precision = 1
+	wk := trace.WorkByCategory()
+	for l := 0; l < 4; l++ {
+		for w := 0; w < 4; w++ {
+			tw.Set(l, w, 100*wk[l][w])
+		}
+	}
+	fmt.Print(tw.Render())
+	fmt.Println()
+
+	fmt.Println("Arrivals by hour of day (percent):")
+	hh := trace.HourHistogram()
+	for h := 0; h < 24; h++ {
+		bar := int(hh[h] * 400) // 0.25% per character
+		fmt.Printf("%02d | %-30s %.1f%%\n", h, strings.Repeat("#", bar), 100*hh[h])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Abort storm: the Section V speculative-backfilling discussion made
+// visible.
+//
+// Runs the deterministic abort-stress workload (4-hour background jobs
+// whose widths block EASY's backfill rules, plus "aborting" jobs that
+// request 4 hours but die after 2 minutes) under EASY, speculative
+// backfilling and TSS, prints the metric split the paper argues for,
+// and draws a Gantt chart of the speculative schedule so the gambles
+// and kills are visible.
+//
+//	go run ./examples/abortstorm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pjs"
+	"pjs/internal/gantt"
+	"pjs/internal/metrics"
+	"pjs/internal/sched"
+	"pjs/internal/workload"
+)
+
+func main() {
+	trace := workload.AbortStress(12)
+	fmt.Printf("workload: %d jobs on %d processors (%d abort-like)\n\n",
+		len(trace.Jobs), trace.Procs, 12)
+
+	fmt.Printf("%-10s %14s %14s %14s %8s\n",
+		"scheduler", "abort mean sd", "normal mean sd", "overall sd", "kills")
+	var specAudit *sched.AuditLog
+	for _, spec := range []string{"ns", "spec", "tss:2"} {
+		s, err := pjs.NewScheduler(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := pjs.Simulate(trace, s, pjs.Options{Audit: spec == "spec"})
+		if spec == "spec" {
+			specAudit = res.Audit
+		}
+		var abortSD, normSD, allSD float64
+		var na, nn int
+		kills := 0
+		for _, j := range res.Jobs {
+			sd := metrics.BoundedSlowdown(j)
+			allSD += sd
+			kills += j.Kills
+			if j.RunTime == 120 {
+				abortSD += sd
+				na++
+			} else {
+				normSD += sd
+				nn++
+			}
+		}
+		fmt.Printf("%-10s %14.1f %14.2f %14.1f %8d\n",
+			s.Name(), abortSD/float64(na), normSD/float64(nn),
+			allSD/float64(na+nn), kills)
+	}
+
+	fmt.Println("\nspeculative schedule (watch the short bursts inside the holes):")
+	fmt.Print(gantt.Render(specAudit, gantt.Options{Width: 100, MaxRows: 16}))
+}

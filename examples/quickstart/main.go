@@ -1,0 +1,54 @@
+// Quickstart: the paper's headline result in ~60 lines.
+//
+// Generates an SDSC-like workload, runs the non-preemptive baseline (NS,
+// aggressive backfilling) and Tunable Selective Suspension (SF = 2), and
+// prints the per-category average slowdowns side by side. The Very-Short
+// Very-Wide category is where the paper reports its largest win
+// (113 → 7 on the SDSC trace).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pjs"
+	"pjs/internal/job"
+)
+
+func main() {
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 4000, Seed: 42})
+
+	// Pass 1: the NS baseline. Its per-category average slowdowns also
+	// seed the TSS preemption-disable limits (the two-pass construction).
+	ns, err := pjs.NewScheduler("ns")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsRes := pjs.Simulate(trace, ns, pjs.Options{})
+	nsSum := pjs.Summarize(nsRes, pjs.All)
+
+	// Pass 2: Tunable Selective Suspension with SF = 2.
+	tss := pjs.NewTSS(2, nsSum.SlowdownTable())
+	tssRes := pjs.Simulate(trace, tss, pjs.Options{})
+	tssSum := pjs.Summarize(tssRes, pjs.All)
+
+	fmt.Printf("workload: %s, %d processors, %d jobs\n",
+		trace.Name, trace.Procs, len(trace.Jobs))
+	fmt.Printf("utilization: NS %.1f%%  TSS %.1f%%\n",
+		100*nsRes.Utilization, 100*tssRes.Utilization)
+	fmt.Printf("suspensions under TSS: %d\n\n", tssRes.Suspensions)
+
+	fmt.Printf("%-8s %10s %12s %10s\n", "category", "NS sd", "TSS(2) sd", "speedup")
+	for _, c := range job.AllCategories() {
+		n, t := nsSum.Cat(c), tssSum.Cat(c)
+		if n.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-8s %10.2f %12.2f %9.1fx\n",
+			c, n.MeanSlowdown, t.MeanSlowdown, n.MeanSlowdown/t.MeanSlowdown)
+	}
+	fmt.Printf("\noverall: NS %.2f → TSS %.2f\n",
+		nsSum.Overall.MeanSlowdown, tssSum.Overall.MeanSlowdown)
+}

@@ -1,0 +1,74 @@
+// SF tuning: how the suspension factor trades thrashing against
+// responsiveness.
+//
+// Part 1 reproduces the Section IV-A analysis (Figures 4-6): the
+// execution pattern of two identical simultaneous tasks under different
+// suspension factors, rendered as ASCII timelines.
+//
+// Part 2 sweeps SF over a synthetic workload and reports how the mean
+// slowdown of the Very-Short and Very-Long job classes and the total
+// suspension count move — lower SF helps short jobs and hurts very long
+// ones, exactly the Section IV-D trend.
+//
+//	go run ./examples/sftuning
+package main
+
+import (
+	"fmt"
+
+	"pjs"
+	"pjs/internal/job"
+	"pjs/internal/theory"
+)
+
+func main() {
+	fmt.Println("=== Two identical tasks (Section IV-A, Figs. 4-6) ===")
+	for _, sf := range []float64{1, 1.3, 1.5, 2} {
+		tl := theory.TwoTask(3600, sf, 60)
+		fmt.Print(tl.Render(68))
+	}
+	fmt.Println("boundary factors s=(n+2)/(n+1) for at most n suspensions:")
+	for n := 0; n <= 4; n++ {
+		fmt.Printf("  n=%d  s=%.3f\n", n, theory.SFForAtMost(n))
+	}
+
+	fmt.Println("\n=== SF sweep on an SDSC-like workload ===")
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 3000, Seed: 7})
+	fmt.Printf("%-6s %12s %12s %12s %12s\n",
+		"SF", "VS mean sd", "VL mean sd", "overall sd", "suspensions")
+	for _, sf := range []float64{1.5, 2, 3, 5} {
+		res := pjs.Simulate(trace, pjs.NewSS(sf), pjs.Options{})
+		sum := pjs.Summarize(res, pjs.All)
+		vs, vl := rowMeans(sum)
+		fmt.Printf("%-6g %12.2f %12.2f %12.2f %12d\n",
+			sf, vs, vl, sum.Overall.MeanSlowdown, res.Suspensions)
+	}
+	ns, _ := pjs.NewScheduler("ns")
+	res := pjs.Simulate(trace, ns, pjs.Options{})
+	sum := pjs.Summarize(res, pjs.All)
+	vs, vl := rowMeans(sum)
+	fmt.Printf("%-6s %12.2f %12.2f %12.2f %12d\n",
+		"NS", vs, vl, sum.Overall.MeanSlowdown, res.Suspensions)
+}
+
+// rowMeans averages the mean slowdown over the VS and VL rows.
+func rowMeans(sum *pjs.Summary) (vs, vl float64) {
+	var nvs, nvl int
+	for w := job.Width(0); w < job.NumWidths; w++ {
+		if c := sum.Cat(job.Category{Length: job.VeryShort, Width: w}); c.Count > 0 {
+			vs += c.MeanSlowdown
+			nvs++
+		}
+		if c := sum.Cat(job.Category{Length: job.VeryLong, Width: w}); c.Count > 0 {
+			vl += c.MeanSlowdown
+			nvl++
+		}
+	}
+	if nvs > 0 {
+		vs /= float64(nvs)
+	}
+	if nvl > 0 {
+		vl /= float64(nvl)
+	}
+	return vs, vl
+}

@@ -1,0 +1,3 @@
+module pjs
+
+go 1.22

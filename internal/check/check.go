@@ -1,0 +1,237 @@
+// Package check validates simulation runs by replaying the scheduler's
+// audit log against the physical invariants of the machine model:
+//
+//   - no processor is ever owned by two jobs at once;
+//   - a suspended job restarts on exactly the processor set it was
+//     suspended on (the local-preemption constraint of Section II-C);
+//   - each job's run segments sum to its run time (work conservation;
+//     with zero overhead the equality is exact);
+//   - no job starts before it is submitted;
+//   - every job follows the legal lifecycle
+//     arrive → start → (suspend-begin → suspend-done → resume)* → finish.
+//
+// The property tests run every scheduler over randomized workloads and
+// feed the logs through Check.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"pjs/internal/sched"
+)
+
+// Options tune the strictness of the checker.
+type Options struct {
+	// ZeroOverhead asserts exact work conservation: the sum of a job's
+	// run segments must equal its run time. Without it (an overhead
+	// model was active) segments may exceed the run time by restart
+	// reads.
+	ZeroOverhead bool
+	// AllowMigration waives the local-restart invariant for runs under
+	// the migratable preemption model (a suspended job may resume on a
+	// different processor set); all other invariants still apply.
+	AllowMigration bool
+}
+
+type jobState int
+
+const (
+	stNone jobState = iota
+	stArrived
+	stRunning
+	stSuspending
+	stSuspended
+	stFinished
+)
+
+type jobTrack struct {
+	state    jobState
+	submit   int64
+	width    int
+	runTime  int64
+	procs    []int // current set
+	lastGo   int64 // last start/resume time
+	ran      int64 // accumulated segment time
+	suspends int
+	everseen bool
+}
+
+// Check replays the audit log and returns the first invariant violation,
+// or nil.
+func Check(log *sched.AuditLog, opt Options) error {
+	if log == nil {
+		return fmt.Errorf("check: nil audit log (run with Options.Audit)")
+	}
+	owner := make([]int, log.Procs)
+	for i := range owner {
+		owner[i] = -1
+	}
+	jobs := make(map[int]*jobTrack)
+	get := func(id int) *jobTrack {
+		t, ok := jobs[id]
+		if !ok {
+			t = &jobTrack{}
+			jobs[id] = t
+		}
+		return t
+	}
+	prevTime := int64(-1 << 62)
+	for i, e := range log.Entries {
+		if e.Time < prevTime {
+			return fmt.Errorf("check: entry %d: time %d before %d", i, e.Time, prevTime)
+		}
+		prevTime = e.Time
+		t := get(e.JobID)
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("check: entry %d (t=%d %v job %d): %s",
+				i, e.Time, e.Action, e.JobID, fmt.Sprintf(format, args...))
+		}
+		switch e.Action {
+		case sched.ActArrive:
+			if t.state != stNone {
+				return fail("duplicate arrival")
+			}
+			t.state = stArrived
+			t.submit = e.Submit
+			t.width = e.Width
+			t.runTime = e.RunTime
+
+		case sched.ActStart, sched.ActResume:
+			resume := e.Action == sched.ActResume
+			if resume && t.state != stSuspended {
+				return fail("resume from state %d", t.state)
+			}
+			if !resume && t.state != stArrived {
+				return fail("start from state %d", t.state)
+			}
+			if e.Time < t.submit {
+				return fail("dispatch at %d before submit %d", e.Time, t.submit)
+			}
+			if len(e.Procs) != t.width {
+				return fail("dispatched on %d processors, width %d", len(e.Procs), t.width)
+			}
+			if err := validSet(e.Procs, log.Procs); err != nil {
+				return fail("%v", err)
+			}
+			if resume && !opt.AllowMigration {
+				if !sameSet(e.Procs, t.procs) {
+					return fail("local-restart violation: resumed on %v, suspended on %v", e.Procs, t.procs)
+				}
+			}
+			for _, p := range e.Procs {
+				if owner[p] != -1 {
+					return fail("processor %d already owned by job %d", p, owner[p])
+				}
+				owner[p] = e.JobID
+			}
+			t.procs = append([]int(nil), e.Procs...)
+			t.lastGo = e.Time
+			t.state = stRunning
+
+		case sched.ActSuspendBegin:
+			if t.state != stRunning {
+				return fail("suspend-begin from state %d", t.state)
+			}
+			t.ran += e.Time - t.lastGo
+			t.suspends++
+			t.state = stSuspending
+			// The job still owns its processors during the write.
+
+		case sched.ActSuspendDone:
+			if t.state != stSuspending {
+				return fail("suspend-done from state %d", t.state)
+			}
+			for _, p := range t.procs {
+				if owner[p] != e.JobID {
+					return fail("releasing processor %d owned by %d", p, owner[p])
+				}
+				owner[p] = -1
+			}
+			t.state = stSuspended
+
+		case sched.ActKill:
+			if t.state != stRunning {
+				return fail("kill from state %d", t.state)
+			}
+			for _, p := range t.procs {
+				if owner[p] != e.JobID {
+					return fail("releasing processor %d owned by %d", p, owner[p])
+				}
+				owner[p] = -1
+			}
+			// All work is discarded: the job is queued as if fresh.
+			t.ran = 0
+			t.procs = nil
+			t.state = stArrived
+
+		case sched.ActFinish:
+			if t.state != stRunning {
+				return fail("finish from state %d", t.state)
+			}
+			t.ran += e.Time - t.lastGo
+			for _, p := range t.procs {
+				if owner[p] != e.JobID {
+					return fail("releasing processor %d owned by %d", p, owner[p])
+				}
+				owner[p] = -1
+			}
+			t.state = stFinished
+			if opt.ZeroOverhead {
+				if t.ran != t.runTime {
+					return fail("work conservation: segments sum to %d, run time %d (after %d suspensions)",
+						t.ran, t.runTime, t.suspends)
+				}
+			} else if t.ran < t.runTime {
+				return fail("work conservation: segments sum to %d < run time %d", t.ran, t.runTime)
+			}
+
+		default:
+			return fail("unknown action")
+		}
+	}
+	// Terminal conditions.
+	for id, t := range jobs {
+		if t.state != stFinished {
+			return fmt.Errorf("check: job %d ended in state %d, want finished", id, t.state)
+		}
+	}
+	for p, o := range owner {
+		if o != -1 {
+			return fmt.Errorf("check: processor %d still owned by job %d at end", p, o)
+		}
+	}
+	return nil
+}
+
+// validSet verifies processor indices are unique and in range.
+func validSet(procs []int, n int) error {
+	seen := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		if p < 0 || p >= n {
+			return fmt.Errorf("processor %d out of range [0,%d)", p, n)
+		}
+		if seen[p] {
+			return fmt.Errorf("duplicate processor %d in set", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// sameSet compares processor sets regardless of order.
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

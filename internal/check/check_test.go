@@ -1,0 +1,182 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"pjs/internal/sched"
+)
+
+// logBuilder assembles synthetic audit logs for the checker tests.
+type logBuilder struct {
+	log sched.AuditLog
+}
+
+func newLog(procs int) *logBuilder {
+	return &logBuilder{log: sched.AuditLog{Procs: procs}}
+}
+
+func (b *logBuilder) add(t int64, a sched.Action, id int, procs []int, width int, run, submit int64) *logBuilder {
+	b.log.Entries = append(b.log.Entries, sched.Entry{
+		Time: t, Action: a, JobID: id, Procs: procs,
+		Width: width, RunTime: run, Submit: submit,
+	})
+	return b
+}
+
+func okLog() *logBuilder {
+	// One job: arrive 0, start 10 on {0,1}, suspended 30-35, resume 40,
+	// finish at 120 (20 + 80 = 100 s of work).
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(30, sched.ActSuspendBegin, 1, []int{0, 1}, 2, 100, 0)
+	b.add(35, sched.ActSuspendDone, 1, []int{0, 1}, 2, 100, 0)
+	b.add(40, sched.ActResume, 1, []int{0, 1}, 2, 100, 0)
+	b.add(120, sched.ActFinish, 1, []int{0, 1}, 2, 100, 0)
+	return b
+}
+
+func TestCheckAcceptsValidLog(t *testing.T) {
+	if err := Check(&okLog().log, Options{ZeroOverhead: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNilLog(t *testing.T) {
+	if err := Check(nil, Options{}); err == nil {
+		t.Error("nil log must error")
+	}
+}
+
+func mustFail(t *testing.T, b *logBuilder, opt Options, substr string) {
+	t.Helper()
+	err := Check(&b.log, opt)
+	if err == nil {
+		t.Fatalf("expected failure containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestCheckOversubscription(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(0, sched.ActArrive, 2, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(20, sched.ActStart, 2, []int{1, 2}, 2, 100, 0)
+	mustFail(t, b, Options{}, "already owned")
+}
+
+func TestCheckLocalRestartViolation(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(30, sched.ActSuspendBegin, 1, []int{0, 1}, 2, 100, 0)
+	b.add(35, sched.ActSuspendDone, 1, []int{0, 1}, 2, 100, 0)
+	b.add(40, sched.ActResume, 1, []int{2, 3}, 2, 100, 0) // different set!
+	b.add(120, sched.ActFinish, 1, []int{2, 3}, 2, 100, 0)
+	mustFail(t, b, Options{}, "local-restart")
+}
+
+func TestCheckWorkConservation(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(60, sched.ActFinish, 1, []int{0, 1}, 2, 100, 0) // only 50 s ran
+	mustFail(t, b, Options{ZeroOverhead: true}, "work conservation")
+}
+
+func TestCheckWorkConservationAllowsOverheadSlack(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(130, sched.ActFinish, 1, []int{0, 1}, 2, 100, 0) // 120 s wall
+	if err := Check(&b.log, Options{}); err != nil {
+		t.Errorf("overhead slack should be allowed: %v", err)
+	}
+	mustFail(t, b, Options{ZeroOverhead: true}, "work conservation")
+}
+
+func TestCheckStartBeforeSubmit(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 50)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 50)
+	b.add(110, sched.ActFinish, 1, []int{0, 1}, 2, 100, 50)
+	mustFail(t, b, Options{}, "before submit")
+}
+
+func TestCheckWrongWidth(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 3, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 3, 100, 0)
+	mustFail(t, b, Options{}, "width")
+}
+
+func TestCheckIllegalTransitions(t *testing.T) {
+	// Resume without suspension.
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActResume, 1, []int{0, 1}, 2, 100, 0)
+	mustFail(t, b, Options{}, "resume from state")
+
+	// Finish while suspended.
+	b = newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(20, sched.ActSuspendBegin, 1, []int{0, 1}, 2, 100, 0)
+	b.add(25, sched.ActSuspendDone, 1, []int{0, 1}, 2, 100, 0)
+	b.add(30, sched.ActFinish, 1, []int{0, 1}, 2, 100, 0)
+	mustFail(t, b, Options{}, "finish from state")
+
+	// Duplicate arrival.
+	b = newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(5, sched.ActArrive, 1, nil, 2, 100, 0)
+	mustFail(t, b, Options{}, "duplicate arrival")
+}
+
+func TestCheckUnfinishedJob(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	mustFail(t, b, Options{}, "want finished")
+}
+
+func TestCheckTimeMonotonicity(t *testing.T) {
+	b := newLog(4)
+	b.add(10, sched.ActArrive, 1, nil, 2, 100, 10)
+	b.add(5, sched.ActArrive, 2, nil, 2, 100, 5)
+	mustFail(t, b, Options{}, "before")
+}
+
+func TestCheckProcsOutOfRange(t *testing.T) {
+	b := newLog(2)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{1, 2}, 2, 100, 0)
+	mustFail(t, b, Options{}, "out of range")
+}
+
+func TestCheckDuplicateProcInSet(t *testing.T) {
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{1, 1}, 2, 100, 0)
+	mustFail(t, b, Options{}, "duplicate processor")
+}
+
+func TestActionString(t *testing.T) {
+	names := map[sched.Action]string{
+		sched.ActArrive:       "arrive",
+		sched.ActStart:        "start",
+		sched.ActResume:       "resume",
+		sched.ActSuspendBegin: "suspend-begin",
+		sched.ActSuspendDone:  "suspend-done",
+		sched.ActFinish:       "finish",
+	}
+	for a, w := range names {
+		if a.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), w)
+		}
+	}
+}

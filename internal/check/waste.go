@@ -1,0 +1,127 @@
+package check
+
+import (
+	"fmt"
+
+	"pjs/internal/sched"
+)
+
+// WasteReport quantifies idle capacity from an audit log and how much of
+// it is a *scheduling* waste: instants where a queued job that has never
+// started would fit the idle processors but was not started. A
+// work-conserving policy (like Selective Suspension's reservation-free
+// backfilling) should show zero violation time; EASY/conservative
+// legitimately hold processors for reservations.
+type WasteReport struct {
+	// Span is the analyzed interval (first entry to Until).
+	Span int64
+	// IdleProcSeconds is the integral of unowned processors.
+	IdleProcSeconds int64
+	// ViolationSeconds is the total time during which at least one
+	// queued never-started job would fit the idle processors.
+	ViolationSeconds int64
+	// Capacity is machine size × Span.
+	Capacity int64
+}
+
+// IdleFraction returns idle capacity as a fraction of total capacity.
+func (w WasteReport) IdleFraction() float64 {
+	if w.Capacity == 0 {
+		return 0
+	}
+	return float64(w.IdleProcSeconds) / float64(w.Capacity)
+}
+
+// ViolationFraction returns violation time as a fraction of the span.
+func (w WasteReport) ViolationFraction() float64 {
+	if w.Span == 0 {
+		return 0
+	}
+	return float64(w.ViolationSeconds) / float64(w.Span)
+}
+
+// Waste replays the audit log up to time until (0 = the whole log) and
+// integrates idle capacity and fit violations. Suspended jobs are not
+// counted as "queued" — under local restart they can only use their own
+// processor set, so idle capacity elsewhere is not actionable for them.
+func Waste(log *sched.AuditLog, until int64) (WasteReport, error) {
+	if log == nil {
+		return WasteReport{}, fmt.Errorf("check: nil audit log")
+	}
+	if len(log.Entries) == 0 {
+		return WasteReport{}, nil
+	}
+	if until == 0 {
+		until = log.Entries[len(log.Entries)-1].Time
+	}
+	// queuedWidths[w] = number of never-started queued jobs of width w.
+	queuedWidths := make([]int, log.Procs+1)
+	minQueued := log.Procs + 1
+	recalcMin := func() {
+		minQueued = log.Procs + 1
+		for w := 1; w <= log.Procs; w++ {
+			if queuedWidths[w] > 0 {
+				minQueued = w
+				break
+			}
+		}
+	}
+	started := make(map[int]bool)
+	busy := 0
+	var rep WasteReport
+	rep.Span = until - log.Entries[0].Time
+	rep.Capacity = int64(log.Procs) * rep.Span
+	prev := log.Entries[0].Time
+
+	account := func(to int64) {
+		if to > until {
+			to = until
+		}
+		if to <= prev {
+			return
+		}
+		idle := log.Procs - busy
+		if idle > 0 {
+			rep.IdleProcSeconds += int64(idle) * (to - prev)
+			if minQueued <= idle {
+				rep.ViolationSeconds += to - prev
+			}
+		}
+		prev = to
+	}
+
+	for _, e := range log.Entries {
+		account(e.Time)
+		switch e.Action {
+		case sched.ActArrive:
+			queuedWidths[e.Width]++
+			if e.Width < minQueued {
+				minQueued = e.Width
+			}
+		case sched.ActStart:
+			if !started[e.JobID] {
+				started[e.JobID] = true
+				queuedWidths[e.Width]--
+				if e.Width == minQueued && queuedWidths[e.Width] == 0 {
+					recalcMin()
+				}
+			}
+			busy += len(e.Procs)
+		case sched.ActResume:
+			busy += len(e.Procs)
+		case sched.ActSuspendDone, sched.ActFinish:
+			busy -= len(e.Procs)
+		case sched.ActKill:
+			// The job is requeued as never-started: it can again use
+			// any processors.
+			busy -= len(e.Procs)
+			started[e.JobID] = false
+			queuedWidths[e.Width]++
+			if e.Width < minQueued {
+				minQueued = e.Width
+			}
+		}
+	}
+	account(until)
+	return rep, nil
+}

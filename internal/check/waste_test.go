@@ -1,0 +1,102 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"pjs/internal/sched"
+)
+
+func TestWasteNilAndEmpty(t *testing.T) {
+	if _, err := Waste(nil, 0); err == nil {
+		t.Error("nil log must error")
+	}
+	rep, err := Waste(&sched.AuditLog{Procs: 4}, 0)
+	if err != nil || rep.Span != 0 {
+		t.Errorf("empty log: %v %+v", err, rep)
+	}
+}
+
+func TestWasteIdleIntegral(t *testing.T) {
+	// 4-proc machine: a 2-proc job runs [10,110); idle is 4 procs for
+	// [0,10) and 2 procs for [10,110).
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 2, 100, 0)
+	b.add(10, sched.ActStart, 1, []int{0, 1}, 2, 100, 0)
+	b.add(110, sched.ActFinish, 1, []int{0, 1}, 2, 100, 0)
+	rep, err := Waste(&b.log, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4*10 + 2*100)
+	if rep.IdleProcSeconds != want {
+		t.Errorf("idle = %d, want %d", rep.IdleProcSeconds, want)
+	}
+	// Job 1 was queued [0,10) with width 2 ≤ idle 4: violation.
+	if rep.ViolationSeconds != 10 {
+		t.Errorf("violation = %d, want 10", rep.ViolationSeconds)
+	}
+}
+
+func TestWasteNoViolationWhenNothingFits(t *testing.T) {
+	// 4-proc machine: 3-proc job runs; a queued 2-proc job would fit
+	// the single... no: idle=1 < 2 → no violation.
+	b := newLog(4)
+	b.add(0, sched.ActArrive, 1, nil, 3, 100, 0)
+	b.add(0, sched.ActStart, 1, []int{0, 1, 2}, 3, 100, 0)
+	b.add(5, sched.ActArrive, 2, nil, 2, 50, 5)
+	b.add(100, sched.ActFinish, 1, []int{0, 1, 2}, 3, 100, 0)
+	b.add(100, sched.ActStart, 2, []int{0, 1}, 2, 50, 5)
+	b.add(150, sched.ActFinish, 2, []int{0, 1}, 2, 50, 5)
+	rep, err := Waste(&b.log, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationSeconds != 0 {
+		t.Errorf("violation = %d, want 0", rep.ViolationSeconds)
+	}
+}
+
+func TestWasteSuspendedJobsNotCounted(t *testing.T) {
+	// A suspended job waiting for its set is not a queued candidate:
+	// idle capacity it cannot use is not a violation.
+	b := okLog() // job suspended [35,40) with machine otherwise idle
+	rep, err := Waste(&b.log, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationSeconds != 10 { // only the queued interval [0,10)
+		t.Errorf("violation = %d, want 10 (the pre-start queue time)", rep.ViolationSeconds)
+	}
+}
+
+func TestWasteFractions(t *testing.T) {
+	b := newLog(2)
+	b.add(0, sched.ActArrive, 1, nil, 2, 50, 0)
+	b.add(50, sched.ActStart, 1, []int{0, 1}, 2, 50, 0)
+	b.add(100, sched.ActFinish, 1, []int{0, 1}, 2, 50, 0)
+	rep, err := Waste(&b.log, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.IdleFraction()-0.5) > 1e-9 {
+		t.Errorf("idle fraction = %v, want 0.5", rep.IdleFraction())
+	}
+	if math.Abs(rep.ViolationFraction()-0.5) > 1e-9 {
+		t.Errorf("violation fraction = %v, want 0.5", rep.ViolationFraction())
+	}
+}
+
+func TestWasteUntilTruncates(t *testing.T) {
+	b := newLog(2)
+	b.add(0, sched.ActArrive, 1, nil, 2, 50, 0)
+	b.add(50, sched.ActStart, 1, []int{0, 1}, 2, 50, 0)
+	b.add(100, sched.ActFinish, 1, []int{0, 1}, 2, 50, 0)
+	rep, err := Waste(&b.log, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Span != 25 || rep.IdleProcSeconds != 50 {
+		t.Errorf("truncated report: %+v", rep)
+	}
+}

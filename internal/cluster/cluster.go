@@ -1,0 +1,309 @@
+// Package cluster models the machine: a fixed set of named processors
+// with ownership tracking, a claim mechanism for pending preemptive
+// starts, and a busy-time integral for utilization accounting.
+//
+// Processor identity matters because the paper studies "local" preemption
+// on distributed-memory clusters: a suspended job must be restarted on
+// exactly the processors it was suspended on (Section II-C). Claims exist
+// because a preempting job must not lose its victims' processors to a
+// third job while the victims' memory images are still being written out.
+package cluster
+
+import "fmt"
+
+const (
+	none = -1 // owner/claim sentinel: no job
+)
+
+// AllocPolicy selects how AllocFree picks processors.
+type AllocPolicy int
+
+const (
+	// FirstFit takes the lowest-indexed free processors (the default).
+	FirstFit AllocPolicy = iota
+	// BestFitContiguous places the job in the smallest contiguous free
+	// run that holds it, falling back to scattered first-fit when no
+	// single run is large enough. Contiguity matters under *local*
+	// preemptive restart: scattered remembered sets overlap more, so
+	// suspended jobs serialize; compact sets conflict less (cf. the
+	// authors' selective buddy allocation work).
+	BestFitContiguous
+)
+
+// Cluster tracks ownership and claims for n processors. Processors are
+// identified by dense indices [0, n).
+type Cluster struct {
+	n      int
+	policy AllocPolicy
+	owner  []int // processor -> owning job ID, or none
+	claim  []int // processor -> claiming job ID, or none
+
+	freeUnclaimed int // processors with neither owner nor claim
+
+	// Busy-time integral for utilization: busyAccum accumulates
+	// (owned processors) × seconds as ownership changes over time.
+	busyAccum int64
+	busyCount int
+	lastTime  int64
+}
+
+// New returns a cluster of n processors, all free.
+func New(n int) *Cluster {
+	if n < 1 {
+		panic("cluster: need at least one processor")
+	}
+	c := &Cluster{n: n, owner: make([]int, n), claim: make([]int, n), freeUnclaimed: n}
+	for i := range c.owner {
+		c.owner[i] = none
+		c.claim[i] = none
+	}
+	return c
+}
+
+// Size returns the number of processors in the machine.
+func (c *Cluster) Size() int { return c.n }
+
+// SetAllocPolicy switches the free-processor placement policy.
+func (c *Cluster) SetAllocPolicy(p AllocPolicy) { c.policy = p }
+
+// FreeUnclaimed returns the number of processors that are neither owned
+// nor claimed — the pool available for fresh allocations.
+func (c *Cluster) FreeUnclaimed() int { return c.freeUnclaimed }
+
+// Busy returns the number of processors currently owned by jobs.
+func (c *Cluster) Busy() int { return c.busyCount }
+
+// Owner returns the job owning processor p, or -1.
+func (c *Cluster) Owner(p int) int { return c.owner[p] }
+
+// Claimant returns the job claiming processor p, or -1.
+func (c *Cluster) Claimant(p int) int { return c.claim[p] }
+
+// advance accumulates the busy integral up to time now. All mutating
+// operations take now so utilization stays exact.
+func (c *Cluster) advance(now int64) {
+	if now < c.lastTime {
+		panic(fmt.Sprintf("cluster: time moved backwards %d -> %d", c.lastTime, now))
+	}
+	c.busyAccum += int64(c.busyCount) * (now - c.lastTime)
+	c.lastTime = now
+}
+
+// AllocFree allocates k processors for job id from the free-unclaimed
+// pool (lowest indices first) and returns them. It panics if fewer than
+// k are available — callers must check FreeUnclaimed first.
+func (c *Cluster) AllocFree(now int64, id, k int) []int {
+	if k > c.freeUnclaimed {
+		panic(fmt.Sprintf("cluster: job %d wants %d processors, %d free", id, k, c.freeUnclaimed))
+	}
+	c.advance(now)
+	procs := make([]int, 0, k)
+	if c.policy == BestFitContiguous {
+		if start := c.bestFitRun(k); start >= 0 {
+			for p := start; len(procs) < k; p++ {
+				c.owner[p] = id
+				procs = append(procs, p)
+			}
+			c.freeUnclaimed -= k
+			c.busyCount += k
+			return procs
+		}
+	}
+	for p := 0; p < c.n && len(procs) < k; p++ {
+		if c.owner[p] == none && c.claim[p] == none {
+			c.owner[p] = id
+			procs = append(procs, p)
+		}
+	}
+	c.freeUnclaimed -= k
+	c.busyCount += k
+	return procs
+}
+
+// bestFitRun returns the start of the smallest contiguous free-unclaimed
+// run of length ≥ k, or -1 when none exists.
+func (c *Cluster) bestFitRun(k int) int {
+	bestStart, bestLen := -1, c.n+1
+	runStart := -1
+	flush := func(end int) {
+		if runStart < 0 {
+			return
+		}
+		l := end - runStart
+		if l >= k && l < bestLen {
+			bestStart, bestLen = runStart, l
+		}
+		runStart = -1
+	}
+	for p := 0; p < c.n; p++ {
+		if c.owner[p] == none && c.claim[p] == none {
+			if runStart < 0 {
+				runStart = p
+			}
+		} else {
+			flush(p)
+		}
+	}
+	flush(c.n)
+	return bestStart
+}
+
+// AllocSet gives job id ownership of exactly the processors in set. Each
+// processor must be unowned, and either unclaimed or claimed by id (the
+// claim is consumed). This is the local-restart path: a suspended job
+// reacquires its remembered set.
+func (c *Cluster) AllocSet(now int64, id int, set []int) {
+	for _, p := range set {
+		if c.owner[p] != none {
+			panic(fmt.Sprintf("cluster: processor %d owned by %d, wanted by %d", p, c.owner[p], id))
+		}
+		if c.claim[p] != none && c.claim[p] != id {
+			panic(fmt.Sprintf("cluster: processor %d claimed by %d, wanted by %d", p, c.claim[p], id))
+		}
+	}
+	c.advance(now)
+	for _, p := range set {
+		if c.claim[p] == id {
+			c.claim[p] = none
+		} else {
+			c.freeUnclaimed--
+		}
+		c.owner[p] = id
+	}
+	c.busyCount += len(set)
+}
+
+// Release frees the processors in set, which must all be owned by id.
+// Claimed processors stay claimed (reserved for the claimant) and do not
+// return to the free-unclaimed pool.
+func (c *Cluster) Release(now int64, id int, set []int) {
+	c.advance(now)
+	for _, p := range set {
+		if c.owner[p] != id {
+			panic(fmt.Sprintf("cluster: release of processor %d by non-owner %d (owner %d)", p, id, c.owner[p]))
+		}
+		c.owner[p] = none
+		if c.claim[p] == none {
+			c.freeUnclaimed++
+		}
+	}
+	c.busyCount -= len(set)
+}
+
+// Claim reserves the processors in set for job id. Each processor must
+// be unclaimed; it may be owned (by a job that is being suspended) or
+// free. Free processors leave the free-unclaimed pool immediately.
+func (c *Cluster) Claim(id int, set []int) {
+	for _, p := range set {
+		if c.claim[p] != none {
+			panic(fmt.Sprintf("cluster: processor %d already claimed by %d, wanted by %d", p, c.claim[p], id))
+		}
+	}
+	for _, p := range set {
+		c.claim[p] = id
+		if c.owner[p] == none {
+			c.freeUnclaimed--
+		}
+	}
+}
+
+// Unclaim drops job id's claims on set (used if a pending start is
+// abandoned). Unowned processors return to the free pool.
+func (c *Cluster) Unclaim(id int, set []int) {
+	for _, p := range set {
+		if c.claim[p] != id {
+			panic(fmt.Sprintf("cluster: unclaim of processor %d by non-claimant %d", p, id))
+		}
+		c.claim[p] = none
+		if c.owner[p] == none {
+			c.freeUnclaimed++
+		}
+	}
+}
+
+// ClaimReady reports whether every processor in set is unowned (so a
+// pending start holding these claims can proceed).
+func (c *Cluster) ClaimReady(set []int) bool {
+	for _, p := range set {
+		if c.owner[p] != none {
+			return false
+		}
+	}
+	return true
+}
+
+// SetFree reports whether every processor in set is unowned and not
+// claimed by another job — the condition for a suspended job (id) to
+// restart locally without preemption.
+func (c *Cluster) SetFree(id int, set []int) bool {
+	for _, p := range set {
+		if c.owner[p] != none {
+			return false
+		}
+		if c.claim[p] != none && c.claim[p] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// ListFreeUnclaimed returns up to k processors that are unowned and
+// unclaimed, lowest indices first, without allocating them.
+func (c *Cluster) ListFreeUnclaimed(k int) []int {
+	out := make([]int, 0, k)
+	for p := 0; p < c.n && len(out) < k; p++ {
+		if c.owner[p] == none && c.claim[p] == none {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FreeUnclaimedIn returns the processors of set that are unowned and
+// unclaimed (or claimed by id).
+func (c *Cluster) FreeUnclaimedIn(id int, set []int) []int {
+	var out []int
+	for _, p := range set {
+		if c.owner[p] == none && (c.claim[p] == none || c.claim[p] == id) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BusyIntegral returns the accumulated processor-seconds of ownership up
+// to time now.
+func (c *Cluster) BusyIntegral(now int64) int64 {
+	c.advance(now)
+	return c.busyAccum
+}
+
+// Utilization returns the fraction of capacity used over [start, end].
+func (c *Cluster) Utilization(start, end int64) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(c.BusyIntegral(end)) / float64(int64(c.n)*(end-start))
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// mutation sequences. It returns an error describing the first violation.
+func (c *Cluster) CheckInvariants() error {
+	free := 0
+	busy := 0
+	for p := 0; p < c.n; p++ {
+		if c.owner[p] == none && c.claim[p] == none {
+			free++
+		}
+		if c.owner[p] != none {
+			busy++
+		}
+	}
+	if free != c.freeUnclaimed {
+		return fmt.Errorf("cluster: freeUnclaimed=%d, recount=%d", c.freeUnclaimed, free)
+	}
+	if busy != c.busyCount {
+		return fmt.Errorf("cluster: busyCount=%d, recount=%d", c.busyCount, busy)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"pjs/internal/job"
+	"pjs/internal/stats"
+)
+
+// TSSLimitFactor is the paper's multiplier: a job's preemption-disable
+// limit is 1.5 times the average slowdown of its category (Section IV-E).
+const TSSLimitFactor = 1.5
+
+// StaticLimits is a fixed per-category xfactor-limit table, normally
+// derived from a non-preemptive baseline run of the same trace via
+// LimitsFromSlowdowns. A zero entry means "no limit for this category".
+type StaticLimits [16]float64
+
+// Limit implements LimitSource.
+func (s *StaticLimits) Limit(c job.Category) (float64, bool) {
+	v := s[c.Index()]
+	return v, v > 0
+}
+
+// LimitsFromSlowdowns builds the TSS table from per-category average
+// slowdowns (e.g. measured under the NS baseline): limit = 1.5 × avg.
+// Categories without data (avg ≤ 0) get no limit. Because a limit below
+// 1 would disable preemption of every job in the category from the
+// start, limits are floored at TSSLimitFactor (average slowdown is ≥ 1
+// by definition, so this only guards degenerate inputs).
+func LimitsFromSlowdowns(avg [16]float64) *StaticLimits {
+	var s StaticLimits
+	for i, a := range avg {
+		if a <= 0 {
+			continue
+		}
+		l := TSSLimitFactor * a
+		if l < TSSLimitFactor {
+			l = TSSLimitFactor
+		}
+		s[i] = l
+	}
+	return &s
+}
+
+// AdaptiveLimits learns the per-category average slowdown online from
+// jobs completed so far in the same run — the single-pass alternative to
+// the two-pass StaticLimits, ablated in the benchmarks. A category
+// yields no limit until MinSamples of its jobs have completed.
+type AdaptiveLimits struct {
+	// MinSamples gates the warm-up; 0 means the default of 10.
+	MinSamples int
+	accs       [16]stats.Acc
+}
+
+// Observe folds the bounded slowdown of a completed job into the table.
+// The category is the scheduler-visible one (estimate-based), matching
+// the lookup in Policy.CanPreempt.
+func (a *AdaptiveLimits) Observe(c job.Category, slowdown float64) {
+	a.accs[c.Index()].Add(slowdown)
+}
+
+// Limit implements LimitSource.
+func (a *AdaptiveLimits) Limit(c job.Category) (float64, bool) {
+	minN := a.MinSamples
+	if minN == 0 {
+		minN = 10
+	}
+	acc := &a.accs[c.Index()]
+	if acc.N() < minN {
+		return 0, false
+	}
+	return TSSLimitFactor * acc.Mean(), true
+}

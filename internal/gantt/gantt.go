@@ -1,0 +1,161 @@
+// Package gantt renders a simulated schedule as ASCII art from the
+// audit log: one row per processor (grouped on large machines), one
+// column per time bucket, each cell showing the job occupying that
+// processor. It makes preemption dynamics — suspensions, local
+// restarts, gang rotations — directly visible in a terminal.
+package gantt
+
+import (
+	"fmt"
+	"strings"
+
+	"pjs/internal/sched"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Width is the number of time columns (default 100).
+	Width int
+	// MaxRows caps the processor rows; machines with more processors
+	// are grouped, showing the owner of the group's first processor
+	// (default 32).
+	MaxRows int
+	// From/To bound the rendered window; zero means the full log span.
+	From, To int64
+}
+
+// ownership change point for one processor.
+type change struct {
+	t  int64
+	id int // owning job, or -1
+}
+
+// Render draws the schedule. Each job is assigned a cycling
+// alphanumeric glyph; '.' is idle. A utilization sparkline and a legend
+// of the busiest jobs follow the grid.
+func Render(log *sched.AuditLog, opt Options) string {
+	if log == nil || len(log.Entries) == 0 {
+		return "(empty schedule)\n"
+	}
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	if opt.MaxRows <= 0 {
+		opt.MaxRows = 32
+	}
+	from, to := opt.From, opt.To
+	if to == 0 {
+		to = log.Entries[len(log.Entries)-1].Time
+	}
+	if from == 0 {
+		from = log.Entries[0].Time
+	}
+	if to <= from {
+		return "(empty window)\n"
+	}
+
+	// Build per-processor ownership timelines.
+	timelines := make([][]change, log.Procs)
+	busySeconds := make(map[int]int64) // jobID → proc-seconds (for the legend)
+	lastOwn := make(map[int]int64)     // jobID → last acquire time
+	for _, e := range log.Entries {
+		switch e.Action {
+		case sched.ActStart, sched.ActResume:
+			for _, p := range e.Procs {
+				timelines[p] = append(timelines[p], change{e.Time, e.JobID})
+			}
+			lastOwn[e.JobID] = e.Time
+		case sched.ActSuspendDone, sched.ActFinish, sched.ActKill:
+			for _, p := range e.Procs {
+				timelines[p] = append(timelines[p], change{e.Time, -1})
+			}
+			busySeconds[e.JobID] += (e.Time - lastOwn[e.JobID]) * int64(len(e.Procs))
+		}
+	}
+
+	ownerAt := func(p int, t int64) int {
+		tl := timelines[p]
+		owner := -1
+		for _, c := range tl {
+			if c.t > t {
+				break
+			}
+			owner = c.id
+		}
+		return owner
+	}
+
+	group := (log.Procs + opt.MaxRows - 1) / opt.MaxRows
+	rows := (log.Procs + group - 1) / group
+	step := float64(to-from) / float64(opt.Width)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %d procs × [%d,%d]s  (%d procs/row, %.0fs/col)\n",
+		log.Procs, from, to, group, step)
+	busyPerCol := make([]int, opt.Width)
+	for r := 0; r < rows; r++ {
+		p := r * group
+		fmt.Fprintf(&b, "%4d |", p)
+		for c := 0; c < opt.Width; c++ {
+			t := from + int64(float64(c)*step)
+			id := ownerAt(p, t)
+			if id < 0 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(glyph(id))
+			}
+		}
+		b.WriteString("|\n")
+	}
+	// Utilization sparkline over all processors.
+	for c := 0; c < opt.Width; c++ {
+		t := from + int64(float64(c)*step)
+		busy := 0
+		for p := 0; p < log.Procs; p++ {
+			if ownerAt(p, t) >= 0 {
+				busy++
+			}
+		}
+		busyPerCol[c] = busy
+	}
+	b.WriteString("util |")
+	levels := []byte(" .:-=+*#%@")
+	for c := 0; c < opt.Width; c++ {
+		frac := float64(busyPerCol[c]) / float64(log.Procs)
+		idx := int(frac * float64(len(levels)-1))
+		b.WriteByte(levels[idx])
+	}
+	b.WriteString("|\n")
+
+	// Legend: the busiest jobs by processor-seconds.
+	type kv struct {
+		id int
+		ps int64
+	}
+	var top []kv
+	for id, ps := range busySeconds {
+		top = append(top, kv{id, ps})
+	}
+	for i := 0; i < len(top); i++ {
+		for k := i + 1; k < len(top); k++ {
+			if top[k].ps > top[i].ps || (top[k].ps == top[i].ps && top[k].id < top[i].id) {
+				top[i], top[k] = top[k], top[i]
+			}
+		}
+	}
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	b.WriteString("legend:")
+	for _, e := range top {
+		fmt.Fprintf(&b, " %c=job%d", glyph(e.id), e.id)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// glyph maps a job ID to a stable printable character.
+func glyph(id int) byte {
+	const alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return alphabet[id%len(alphabet)]
+}

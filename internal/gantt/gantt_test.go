@@ -1,0 +1,81 @@
+package gantt_test
+
+import (
+	"strings"
+	"testing"
+
+	"pjs/internal/gantt"
+	"pjs/internal/job"
+	"pjs/internal/sched"
+	"pjs/internal/sched/ss"
+	"pjs/internal/workload"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	if out := gantt.Render(nil, gantt.Options{}); !strings.Contains(out, "empty") {
+		t.Errorf("nil log: %q", out)
+	}
+	if out := gantt.Render(&sched.AuditLog{Procs: 4}, gantt.Options{}); !strings.Contains(out, "empty") {
+		t.Errorf("empty log: %q", out)
+	}
+}
+
+func TestRenderBasicSchedule(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 10000, 10000, 4),
+		job.New(2, 100, 100, 100, 4),
+	}}
+	res := sched.Run(tr, ss.New(ss.Config{SF: 2}), sched.Options{Audit: true, MaxSteps: 1_000_000})
+	out := gantt.Render(res.Audit, gantt.Options{Width: 80})
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "1=job1") || !strings.Contains(out, "2=job2") {
+		t.Errorf("legend missing jobs:\n%s", out)
+	}
+	// Four processor rows plus a utilization row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4+1+1 { // header, 4 rows, util, legend
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// The preemption window (job 2 at t≈240-340) must appear: some '2'
+	// glyphs in the early columns of row 0.
+	row0 := lines[1]
+	if !strings.Contains(row0, "2") {
+		t.Errorf("preemptor not visible in row 0:\n%s", out)
+	}
+	if !strings.Contains(out, "util |") {
+		t.Error("missing utilization sparkline")
+	}
+}
+
+func TestRenderGroupsLargeMachines(t *testing.T) {
+	m := workload.SDSC() // 128 procs
+	trc := workload.Generate(m, workload.GenOptions{Jobs: 60, Seed: 2})
+	res := sched.Run(trc, ss.New(ss.Config{SF: 2}), sched.Options{Audit: true, MaxSteps: 5_000_000})
+	out := gantt.Render(res.Audit, gantt.Options{Width: 60, MaxRows: 16})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+16+1+1 {
+		t.Errorf("grouped line count = %d, want %d:\n%s", len(lines), 1+16+1+1, out)
+	}
+	if !strings.Contains(lines[0], "8 procs/row") {
+		t.Errorf("header should note grouping: %s", lines[0])
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 2, Jobs: []*job.Job{
+		job.New(1, 0, 100, 100, 2),
+		job.New(2, 200, 100, 100, 2),
+	}}
+	res := sched.Run(tr, ss.New(ss.Config{SF: 2}), sched.Options{Audit: true, MaxSteps: 100_000})
+	// Window covering only job 2's run.
+	out := gantt.Render(res.Audit, gantt.Options{Width: 40, From: 200, To: 300})
+	if strings.Contains(strings.Split(out, "\n")[1], "1") {
+		t.Errorf("job1 should be outside the window:\n%s", out)
+	}
+	// Degenerate window.
+	if out := gantt.Render(res.Audit, gantt.Options{From: 500, To: 100}); !strings.Contains(out, "empty window") {
+		t.Errorf("degenerate window: %q", out)
+	}
+}

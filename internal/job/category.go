@@ -1,0 +1,224 @@
+package job
+
+import "fmt"
+
+// The paper analyzes per-category behaviour because overall averages hide
+// enormous variability (Section III). Jobs are classified on two axes:
+// run-time length and processor-count width. Two classifications are
+// used: a 16-way grid (Table I) for the main study and a 4-way grid
+// (Table VI) for the load-variation study.
+//
+// Classification for *reporting* always uses the actual run time; the
+// scheduler itself only ever sees the user estimate.
+
+// Length is the run-time class of a job (Table I rows).
+type Length int
+
+const (
+	VeryShort Length = iota // 0 – 10 min
+	Short                   // 10 min – 1 hr
+	Long                    // 1 hr – 8 hr
+	VeryLong                // > 8 hr
+	NumLengths
+)
+
+// Boundaries of the length classes, in seconds (Table I).
+const (
+	VeryShortMax = 10 * 60
+	ShortMax     = 60 * 60
+	LongMax      = 8 * 60 * 60
+)
+
+// String returns the paper's abbreviation for the length class.
+func (l Length) String() string {
+	switch l {
+	case VeryShort:
+		return "VS"
+	case Short:
+		return "S"
+	case Long:
+		return "L"
+	case VeryLong:
+		return "VL"
+	}
+	return fmt.Sprintf("Length(%d)", int(l))
+}
+
+// Range returns the inclusive lower and exclusive upper run-time bound of
+// the class in seconds; the upper bound of VeryLong is reported as -1
+// (unbounded).
+func (l Length) Range() (lo, hi int64) {
+	switch l {
+	case VeryShort:
+		return 0, VeryShortMax
+	case Short:
+		return VeryShortMax, ShortMax
+	case Long:
+		return ShortMax, LongMax
+	default:
+		return LongMax, -1
+	}
+}
+
+// Width is the processor-count class of a job (Table I columns).
+type Width int
+
+const (
+	Sequential Width = iota // 1 processor
+	Narrow                  // 2 – 8 processors
+	Wide                    // 9 – 32 processors
+	VeryWide                // > 32 processors
+	NumWidths
+)
+
+// Boundaries of the width classes, in processors (Table I).
+const (
+	SequentialMax = 1
+	NarrowMax     = 8
+	WideMax       = 32
+)
+
+// String returns the paper's abbreviation for the width class.
+func (w Width) String() string {
+	switch w {
+	case Sequential:
+		return "Seq"
+	case Narrow:
+		return "N"
+	case Wide:
+		return "W"
+	case VeryWide:
+		return "VW"
+	}
+	return fmt.Sprintf("Width(%d)", int(w))
+}
+
+// Range returns the inclusive processor bounds of the class; the upper
+// bound of VeryWide is reported as -1 (machine-size bounded).
+func (w Width) Range() (lo, hi int) {
+	switch w {
+	case Sequential:
+		return 1, 1
+	case Narrow:
+		return 2, NarrowMax
+	case Wide:
+		return NarrowMax + 1, WideMax
+	default:
+		return WideMax + 1, -1
+	}
+}
+
+// Category is one cell of the paper's 16-way classification (Table I).
+type Category struct {
+	Length Length
+	Width  Width
+}
+
+// String returns e.g. "VS-VW", the notation used in the paper's prose.
+func (c Category) String() string { return c.Length.String() + "-" + c.Width.String() }
+
+// Index returns a dense index in [0, 16) with widths varying fastest,
+// matching the row-major layout of the paper's tables.
+func (c Category) Index() int { return int(c.Length)*int(NumWidths) + int(c.Width) }
+
+// ClassifyLength maps an actual run time in seconds to its length class.
+func ClassifyLength(runTime int64) Length {
+	switch {
+	case runTime <= VeryShortMax:
+		return VeryShort
+	case runTime <= ShortMax:
+		return Short
+	case runTime <= LongMax:
+		return Long
+	default:
+		return VeryLong
+	}
+}
+
+// ClassifyWidth maps a processor count to its width class.
+func ClassifyWidth(procs int) Width {
+	switch {
+	case procs <= SequentialMax:
+		return Sequential
+	case procs <= NarrowMax:
+		return Narrow
+	case procs <= WideMax:
+		return Wide
+	default:
+		return VeryWide
+	}
+}
+
+// Classify returns the 16-way category of a (runTime, procs) pair.
+func Classify(runTime int64, procs int) Category {
+	return Category{ClassifyLength(runTime), ClassifyWidth(procs)}
+}
+
+// Category returns the job's 16-way category based on its actual run
+// time, as used for all reporting in the paper.
+func (j *Job) Category() Category { return Classify(j.RunTime, j.Procs) }
+
+// EstimateCategory returns the category the scheduler would ascribe to
+// the job based on the user estimate. For badly estimated jobs this can
+// be longer than the true category — the mechanism behind the Section V
+// observation that badly estimated short jobs "would be treated as a
+// long job" and accrue priority only gradually.
+func (j *Job) EstimateCategory() Category { return Classify(j.Estimate, j.Procs) }
+
+// AllCategories lists the 16 categories in table order (rows: length,
+// columns: width).
+func AllCategories() []Category {
+	cats := make([]Category, 0, int(NumLengths)*int(NumWidths))
+	for l := Length(0); l < NumLengths; l++ {
+		for w := Width(0); w < NumWidths; w++ {
+			cats = append(cats, Category{l, w})
+		}
+	}
+	return cats
+}
+
+// Category4 is one cell of the coarse 4-way classification used for the
+// load-variation study (Table VI): Short/Long × Narrow/Wide with
+// boundaries at 1 hour and 8 processors.
+type Category4 struct {
+	Long bool // run time > 1 hr
+	Wide bool // procs > 8
+}
+
+// String returns e.g. "SN", "LW" as in Figures 36–44.
+func (c Category4) String() string {
+	s := "S"
+	if c.Long {
+		s = "L"
+	}
+	if c.Wide {
+		return s + "W"
+	}
+	return s + "N"
+}
+
+// Index returns a dense index in [0, 4): SN, SW, LN, LW.
+func (c Category4) Index() int {
+	i := 0
+	if c.Long {
+		i += 2
+	}
+	if c.Wide {
+		i++
+	}
+	return i
+}
+
+// Classify4 returns the 4-way category of a (runTime, procs) pair
+// (Table VI: boundary 1 hour, 8 processors).
+func Classify4(runTime int64, procs int) Category4 {
+	return Category4{Long: runTime > ShortMax, Wide: procs > NarrowMax}
+}
+
+// Category4 returns the job's coarse category based on actual run time.
+func (j *Job) Category4() Category4 { return Classify4(j.RunTime, j.Procs) }
+
+// AllCategories4 lists the four coarse categories in index order.
+func AllCategories4() []Category4 {
+	return []Category4{{false, false}, {false, true}, {true, false}, {true, true}}
+}

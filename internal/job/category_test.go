@@ -1,0 +1,177 @@
+package job
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyLengthBoundaries(t *testing.T) {
+	cases := []struct {
+		run  int64
+		want Length
+	}{
+		{1, VeryShort},
+		{600, VeryShort},
+		{601, Short},
+		{3600, Short},
+		{3601, Long},
+		{28800, Long},
+		{28801, VeryLong},
+		{360000, VeryLong},
+	}
+	for _, c := range cases {
+		if got := ClassifyLength(c.run); got != c.want {
+			t.Errorf("ClassifyLength(%d) = %v, want %v", c.run, got, c.want)
+		}
+	}
+}
+
+func TestClassifyWidthBoundaries(t *testing.T) {
+	cases := []struct {
+		procs int
+		want  Width
+	}{
+		{1, Sequential},
+		{2, Narrow},
+		{8, Narrow},
+		{9, Wide},
+		{32, Wide},
+		{33, VeryWide},
+		{430, VeryWide},
+	}
+	for _, c := range cases {
+		if got := ClassifyWidth(c.procs); got != c.want {
+			t.Errorf("ClassifyWidth(%d) = %v, want %v", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestCategoryStringAndIndex(t *testing.T) {
+	c := Category{VeryShort, VeryWide}
+	if c.String() != "VS-VW" {
+		t.Errorf("String = %q, want VS-VW", c.String())
+	}
+	if c.Index() != 3 {
+		t.Errorf("Index = %d, want 3", c.Index())
+	}
+	last := Category{VeryLong, VeryWide}
+	if last.Index() != 15 {
+		t.Errorf("Index = %d, want 15", last.Index())
+	}
+}
+
+func TestAllCategoriesCoversIndexSpace(t *testing.T) {
+	cats := AllCategories()
+	if len(cats) != 16 {
+		t.Fatalf("len = %d, want 16", len(cats))
+	}
+	seen := make(map[int]bool)
+	for i, c := range cats {
+		if c.Index() != i {
+			t.Errorf("category %v at position %d has Index %d", c, i, c.Index())
+		}
+		seen[c.Index()] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("indices not unique: %d distinct", len(seen))
+	}
+}
+
+func TestClassify4(t *testing.T) {
+	cases := []struct {
+		run   int64
+		procs int
+		want  string
+	}{
+		{3600, 8, "SN"},
+		{3600, 9, "SW"},
+		{3601, 8, "LN"},
+		{3601, 9, "LW"},
+	}
+	for _, c := range cases {
+		if got := Classify4(c.run, c.procs).String(); got != c.want {
+			t.Errorf("Classify4(%d,%d) = %q, want %q", c.run, c.procs, got, c.want)
+		}
+	}
+}
+
+func TestAllCategories4Order(t *testing.T) {
+	cats := AllCategories4()
+	want := []string{"SN", "SW", "LN", "LW"}
+	for i, c := range cats {
+		if c.String() != want[i] {
+			t.Errorf("cats[%d] = %v, want %v", i, c, want[i])
+		}
+		if c.Index() != i {
+			t.Errorf("cats[%d].Index() = %d", i, c.Index())
+		}
+	}
+}
+
+func TestLengthRangesTile(t *testing.T) {
+	// The four length ranges must tile [0, inf) without gaps/overlap.
+	prev := int64(0)
+	for l := Length(0); l < NumLengths; l++ {
+		lo, hi := l.Range()
+		if lo != prev {
+			t.Errorf("%v range starts at %d, want %d", l, lo, prev)
+		}
+		prev = hi
+	}
+	if prev != -1 {
+		t.Errorf("last range must be unbounded, got hi=%d", prev)
+	}
+}
+
+func TestWidthRangesTile(t *testing.T) {
+	prevHi := 0
+	for w := Width(0); w < NumWidths; w++ {
+		lo, hi := w.Range()
+		if lo != prevHi+1 {
+			t.Errorf("%v range starts at %d, want %d", w, lo, prevHi+1)
+		}
+		prevHi = hi
+	}
+	if prevHi != -1 {
+		t.Errorf("last range must be unbounded, got hi=%d", prevHi)
+	}
+}
+
+// Property: classification is consistent with the declared ranges.
+func TestClassifyMatchesRanges(t *testing.T) {
+	f := func(run uint32, procs uint16) bool {
+		r := int64(run)%200000 + 1
+		p := int(procs)%500 + 1
+		c := Classify(r, p)
+		lo, hi := c.Length.Range()
+		if r <= lo && lo != 0 { // lo is exclusive except for the first class
+			return false
+		}
+		if hi != -1 && r > hi {
+			return false
+		}
+		plo, phi := c.Width.Range()
+		if p < plo {
+			return false
+		}
+		if phi != -1 && p > phi {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Queued: "queued", Running: "running", Suspending: "suspending",
+		Suspended: "suspended", Finished: "finished",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClampsEstimate(t *testing.T) {
+	j := New(1, 0, 100, 50, 4)
+	if j.Estimate != 100 {
+		t.Errorf("estimate = %d, want clamped to run time 100", j.Estimate)
+	}
+	j = New(2, 0, 100, 200, 4)
+	if j.Estimate != 200 {
+		t.Errorf("estimate = %d, want 200", j.Estimate)
+	}
+}
+
+func TestNewInitialState(t *testing.T) {
+	j := New(7, 42, 100, 100, 4)
+	if j.State != Queued {
+		t.Errorf("state = %v, want Queued", j.State)
+	}
+	if j.FirstStart != -1 || j.FinishTime != -1 {
+		t.Errorf("FirstStart=%d FinishTime=%d, want -1,-1", j.FirstStart, j.FinishTime)
+	}
+	if got := j.Remaining(); got != 100 {
+		t.Errorf("Remaining = %d, want 100", got)
+	}
+}
+
+func TestWaitWhileQueued(t *testing.T) {
+	j := New(1, 100, 1000, 1000, 4)
+	if got := j.Wait(100); got != 0 {
+		t.Errorf("Wait at submit = %d, want 0", got)
+	}
+	if got := j.Wait(700); got != 600 {
+		t.Errorf("Wait(700) = %d, want 600", got)
+	}
+}
+
+func TestWaitConstantWhileRunning(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 4)
+	j.Dispatch(300, 0)
+	w1 := j.Wait(300)
+	w2 := j.Wait(800)
+	if w1 != 300 || w2 != 300 {
+		t.Errorf("Wait while running = %d then %d, want constant 300", w1, w2)
+	}
+}
+
+func TestWaitGrowsWhileSuspended(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 4)
+	j.Dispatch(0, 0)
+	j.Preempt(400) // ran 400
+	j.SuspendDone()
+	if j.Ran != 400 {
+		t.Fatalf("Ran = %d, want 400", j.Ran)
+	}
+	if got := j.Wait(400); got != 0 {
+		t.Errorf("Wait(400) = %d, want 0", got)
+	}
+	if got := j.Wait(1000); got != 600 {
+		t.Errorf("Wait(1000) = %d, want 600", got)
+	}
+}
+
+func TestDispatchCompletionTime(t *testing.T) {
+	j := New(1, 0, 1000, 1200, 4)
+	done := j.Dispatch(50, 0)
+	if done != 1050 {
+		t.Errorf("completion = %d, want 1050", done)
+	}
+}
+
+func TestDispatchWithReadOverhead(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 4)
+	j.Dispatch(0, 0)
+	j.Preempt(400)
+	j.SuspendDone()
+	done := j.Dispatch(500, 25) // 600 remaining + 25 read
+	if done != 500+25+600 {
+		t.Errorf("completion = %d, want %d", done, 500+25+600)
+	}
+	// During the read the job makes no compute progress.
+	if got := j.ranAt(510); got != 400 {
+		t.Errorf("ranAt(510) = %d, want 400 (still reading)", got)
+	}
+	if got := j.ranAt(600); got != 475 {
+		t.Errorf("ranAt(600) = %d, want 475", got)
+	}
+}
+
+func TestPreemptDuringRead(t *testing.T) {
+	// A job preempted before its restart read finishes banks no
+	// negative progress.
+	j := New(1, 0, 1000, 1000, 4)
+	j.Dispatch(0, 0)
+	j.Preempt(100)
+	j.SuspendDone()
+	j.Dispatch(200, 50)
+	j.Preempt(220) // mid-read
+	if j.Ran != 100 {
+		t.Errorf("Ran = %d, want unchanged 100", j.Ran)
+	}
+}
+
+func TestCompleteAccounting(t *testing.T) {
+	j := New(1, 10, 500, 700, 4)
+	j.Dispatch(100, 0)
+	j.Complete(600)
+	if j.State != Finished || j.FinishTime != 600 {
+		t.Fatalf("state=%v finish=%d", j.State, j.FinishTime)
+	}
+	if got := j.Turnaround(); got != 590 {
+		t.Errorf("Turnaround = %d, want 590", got)
+	}
+	if j.Ran != 500 {
+		t.Errorf("Ran = %d, want 500", j.Ran)
+	}
+}
+
+func TestEpochBumpsOnTransitions(t *testing.T) {
+	j := New(1, 0, 100, 100, 1)
+	e0 := j.Epoch
+	j.Dispatch(0, 0)
+	if j.Epoch == e0 {
+		t.Error("Dispatch did not bump epoch")
+	}
+	e1 := j.Epoch
+	j.Preempt(10)
+	if j.Epoch == e1 {
+		t.Error("Preempt did not bump epoch")
+	}
+}
+
+func TestKillDiscardsWork(t *testing.T) {
+	j := New(1, 0, 1000, 5000, 4)
+	j.Dispatch(0, 0)
+	e := j.Epoch
+	j.Kill(600)
+	if j.State != Queued {
+		t.Errorf("state = %v, want Queued", j.State)
+	}
+	if j.Ran != 0 {
+		t.Errorf("Ran = %d, want 0 (work discarded)", j.Ran)
+	}
+	if j.Kills != 1 {
+		t.Errorf("Kills = %d, want 1", j.Kills)
+	}
+	if j.Epoch == e {
+		t.Error("Kill must bump the epoch")
+	}
+	// The job reruns from scratch.
+	done := j.Dispatch(700, 0)
+	if done != 1700 {
+		t.Errorf("completion = %d, want 1700 (full rerun)", done)
+	}
+	j.Complete(1700)
+	if got := j.Turnaround(); got != 1700 {
+		t.Errorf("turnaround = %d, want 1700", got)
+	}
+}
+
+func TestKillPanicsWhenNotRunning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1, 0, 100, 100, 1).Kill(0)
+}
+
+func TestStillReading(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 2)
+	j.Dispatch(0, 0)
+	j.Preempt(100)
+	j.SuspendDone()
+	j.Dispatch(200, 50)
+	if !j.StillReading(220) {
+		t.Error("should be reading at 220")
+	}
+	if j.StillReading(250) {
+		t.Error("read done at 250")
+	}
+	j.Preempt(260)
+	if j.StillReading(260) {
+		t.Error("suspending job is not reading")
+	}
+}
+
+func TestXFactor(t *testing.T) {
+	j := New(1, 0, 100, 100, 1)
+	if got := j.XFactor(0); got != 1 {
+		t.Errorf("XFactor at submit = %v, want 1", got)
+	}
+	if got := j.XFactor(100); got != 2 {
+		t.Errorf("XFactor(100) = %v, want 2", got)
+	}
+	// xfactor rises faster for shorter jobs.
+	long := New(2, 0, 10000, 10000, 1)
+	if j.XFactor(500) <= long.XFactor(500) {
+		t.Error("short job xfactor should exceed long job xfactor at equal wait")
+	}
+}
+
+func TestXFactorUsesEstimateNotRunTime(t *testing.T) {
+	// A badly estimated short job is "treated as a long job": its
+	// priority rises only gradually (Section V).
+	bad := New(1, 0, 300, 30000, 1) // 5-min job estimated at >8h
+	good := New(2, 0, 300, 300, 1)
+	if bad.XFactor(3000) >= good.XFactor(3000) {
+		t.Error("badly estimated job should have lower xfactor than well estimated")
+	}
+}
+
+func TestInstantaneousXFactor(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 1)
+	j.Dispatch(0, 0)
+	// After running 100s with no wait: ixf = (0+100)/100 = 1.
+	if got := j.InstantaneousXFactor(100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ixf = %v, want 1", got)
+	}
+	j.Preempt(100)
+	j.SuspendDone()
+	// Waited 300 more: ixf = (300+100)/100 = 4.
+	if got := j.InstantaneousXFactor(400); math.Abs(got-4) > 1e-9 {
+		t.Errorf("ixf = %v, want 4", got)
+	}
+}
+
+func TestInstantaneousXFactorNeverRunIsFinite(t *testing.T) {
+	j := New(1, 0, 1000, 1000, 1)
+	got := j.InstantaneousXFactor(500)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("ixf = %v, want finite", got)
+	}
+	if got < 500 {
+		t.Errorf("ixf = %v, want very large for never-run job", got)
+	}
+}
+
+func TestWellEstimated(t *testing.T) {
+	if !New(1, 0, 100, 200, 1).WellEstimated() {
+		t.Error("estimate exactly 2x should be well estimated")
+	}
+	if New(2, 0, 100, 201, 1).WellEstimated() {
+		t.Error("estimate >2x should be badly estimated")
+	}
+}
+
+func TestDispatchPanicsWhenRunning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double dispatch")
+		}
+	}()
+	j := New(1, 0, 100, 100, 1)
+	j.Dispatch(0, 0)
+	j.Dispatch(1, 0)
+}
+
+func TestPreemptPanicsWhenQueued(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on preempt of queued job")
+		}
+	}()
+	New(1, 0, 100, 100, 1).Preempt(0)
+}
+
+// Property: wait never decreases, and xfactor is monotonically
+// non-decreasing in now for a job that is not running.
+func TestXFactorMonotoneWhileWaiting(t *testing.T) {
+	f := func(run uint16, est uint16, t1, t2 uint16) bool {
+		r := int64(run)%5000 + 1
+		e := int64(est)%9000 + 1
+		j := New(1, 0, r, e, 1)
+		a, b := int64(t1), int64(t2)
+		if a > b {
+			a, b = b, a
+		}
+		return j.XFactor(a) <= j.XFactor(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total accounted compute never exceeds RunTime and Dispatch
+// completion times are consistent with Remaining.
+func TestRunAccountingProperty(t *testing.T) {
+	f := func(cuts []uint8) bool {
+		j := New(1, 0, 10000, 10000, 2)
+		now := int64(0)
+		for _, c := range cuts {
+			done := j.Dispatch(now, 0)
+			slice := int64(c) + 1
+			if now+slice >= done {
+				j.Complete(done)
+				return j.Ran == j.RunTime && j.FinishTime == done
+			}
+			now += slice
+			j.Preempt(now)
+			j.SuspendDone()
+			if j.Ran > j.RunTime || j.Ran < 0 {
+				return false
+			}
+			now += 7 // idle gap
+		}
+		done := j.Dispatch(now, 0)
+		j.Complete(done)
+		return j.Ran == j.RunTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pjs/internal/job"
+)
+
+// WriteJobsCSV dumps one row per finished job — everything needed to
+// recompute any of the paper's metrics (or new ones) in external
+// tooling: identity, category, timing, estimate quality, and the
+// preemption counters.
+func WriteJobsCSV(w io.Writer, jobs []*job.Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw,
+		"job,category,category4,procs,submit,start,finish,runtime,estimate,"+
+			"wait,turnaround,slowdown,well_estimated,suspensions,kills"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			return fmt.Errorf("metrics: job %d not finished", j.ID)
+		}
+		tat := j.Turnaround()
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.6g,%t,%d,%d\n",
+			j.ID, j.Category(), j.Category4(), j.Procs,
+			j.SubmitTime, j.FirstStart, j.FinishTime, j.RunTime, j.Estimate,
+			tat-j.RunTime, tat, BoundedSlowdown(j), j.WellEstimated(),
+			j.Suspensions, j.Kills); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,90 @@
+// Package overhead models the cost of job suspension and restart
+// (Section V-A of the paper): suspending a job writes the memory image of
+// every node to its local disk; restarting reads it back. With each node
+// writing in parallel, the time is the per-processor memory divided by
+// the per-processor transfer rate — 2 MB/s in the paper's "commodity
+// local disk on a quad node" scenario (8 MB/s disk shared by 4 CPUs).
+package overhead
+
+import "pjs/internal/job"
+
+// MB is one megabyte in bytes.
+const MB = int64(1 << 20)
+
+// PaperRateBps is the per-processor disk bandwidth assumed by the paper:
+// 2 MB/s.
+const PaperRateBps = 2 * MB
+
+// Model computes suspension and restart costs for a job.
+type Model interface {
+	// WriteTime returns the seconds the job occupies its processors
+	// after preemption while its memory image is written out.
+	WriteTime(j *job.Job) int64
+	// ReadTime returns the seconds of restart I/O charged before the
+	// job resumes computing.
+	ReadTime(j *job.Job) int64
+}
+
+// None is the zero-cost model used for the paper's Sections IV and VI
+// experiments, which assume negligible suspension overhead.
+type None struct{}
+
+// WriteTime returns 0.
+func (None) WriteTime(*job.Job) int64 { return 0 }
+
+// ReadTime returns 0.
+func (None) ReadTime(*job.Job) int64 { return 0 }
+
+// Disk is the paper's local-disk checkpoint model: time = memory per
+// processor / per-processor bandwidth, identical for write and read.
+// All nodes transfer in parallel, so job width does not matter.
+type Disk struct {
+	// RateBps is the per-processor transfer rate in bytes/second.
+	// Zero means PaperRateBps.
+	RateBps int64
+}
+
+func (d Disk) seconds(j *job.Job) int64 {
+	rate := d.RateBps
+	if rate <= 0 {
+		rate = PaperRateBps
+	}
+	mem := j.MemPerProc
+	if mem <= 0 {
+		return 0
+	}
+	// Round up: partial seconds still occupy the processor.
+	return (mem + rate - 1) / rate
+}
+
+// WriteTime returns the suspension write time for j.
+func (d Disk) WriteTime(j *job.Job) int64 { return d.seconds(j) }
+
+// ReadTime returns the restart read time for j.
+func (d Disk) ReadTime(j *job.Job) int64 { return d.seconds(j) }
+
+// Shared models checkpointing to shared storage, as required by the
+// migratable-restart ablation: a suspended job may resume on different
+// nodes, so its image must cross the interconnect/fileserver, at a rate
+// typically well below a local disk's.
+type Shared struct {
+	// WriteBps and ReadBps are per-processor rates in bytes/second;
+	// zero means half the paper's local-disk rate (1 MB/s).
+	WriteBps, ReadBps int64
+}
+
+func (s Shared) at(j *job.Job, rate int64) int64 {
+	if rate <= 0 {
+		rate = PaperRateBps / 2
+	}
+	if j.MemPerProc <= 0 {
+		return 0
+	}
+	return (j.MemPerProc + rate - 1) / rate
+}
+
+// WriteTime returns the suspension write time for j.
+func (s Shared) WriteTime(j *job.Job) int64 { return s.at(j, s.WriteBps) }
+
+// ReadTime returns the restart read time for j.
+func (s Shared) ReadTime(j *job.Job) int64 { return s.at(j, s.ReadBps) }

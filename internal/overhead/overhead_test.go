@@ -1,0 +1,104 @@
+package overhead
+
+import (
+	"testing"
+
+	"pjs/internal/job"
+)
+
+func TestNoneIsFree(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 4)
+	j.MemPerProc = 512 * MB
+	var m None
+	if m.WriteTime(j) != 0 || m.ReadTime(j) != 0 {
+		t.Error("None model must be free")
+	}
+}
+
+func TestDiskPaperScenario(t *testing.T) {
+	// 100 MB per processor at 2 MB/s = 50 s; 1 GB = 512 s.
+	j := job.New(1, 0, 100, 100, 16)
+	j.MemPerProc = 100 * MB
+	d := Disk{}
+	if got := d.WriteTime(j); got != 50 {
+		t.Errorf("WriteTime(100MB) = %d, want 50", got)
+	}
+	j.MemPerProc = 1024 * MB
+	if got := d.WriteTime(j); got != 512 {
+		t.Errorf("WriteTime(1GB) = %d, want 512", got)
+	}
+	if d.ReadTime(j) != d.WriteTime(j) {
+		t.Error("read and write should be symmetric")
+	}
+}
+
+func TestDiskWidthIndependent(t *testing.T) {
+	// Nodes write in parallel: a 1-proc and a 256-proc job with the
+	// same per-processor memory pay the same overhead.
+	a := job.New(1, 0, 100, 100, 1)
+	b := job.New(2, 0, 100, 100, 256)
+	a.MemPerProc = 300 * MB
+	b.MemPerProc = 300 * MB
+	d := Disk{}
+	if d.WriteTime(a) != d.WriteTime(b) {
+		t.Errorf("overhead should be width-independent: %d vs %d", d.WriteTime(a), d.WriteTime(b))
+	}
+}
+
+func TestDiskRoundsUp(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	j.MemPerProc = 3*MB + 1
+	d := Disk{}
+	if got := d.WriteTime(j); got != 2 {
+		t.Errorf("WriteTime = %d, want 2 (rounded up)", got)
+	}
+}
+
+func TestDiskZeroMemory(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	d := Disk{}
+	if d.WriteTime(j) != 0 {
+		t.Error("zero memory should cost nothing")
+	}
+}
+
+func TestDiskCustomRate(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	j.MemPerProc = 100 * MB
+	d := Disk{RateBps: 10 * MB}
+	if got := d.WriteTime(j); got != 10 {
+		t.Errorf("WriteTime = %d, want 10", got)
+	}
+}
+
+func TestSharedDefaultsToHalfDiskRate(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 4)
+	j.MemPerProc = 100 * MB
+	s := Shared{}
+	// 100 MB at 1 MB/s = 100 s, twice the local-disk 50 s.
+	if got := s.WriteTime(j); got != 100 {
+		t.Errorf("WriteTime = %d, want 100", got)
+	}
+	if got := s.ReadTime(j); got != 100 {
+		t.Errorf("ReadTime = %d, want 100", got)
+	}
+}
+
+func TestSharedAsymmetricRates(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	j.MemPerProc = 100 * MB
+	s := Shared{WriteBps: 4 * MB, ReadBps: 2 * MB}
+	if got := s.WriteTime(j); got != 25 {
+		t.Errorf("WriteTime = %d, want 25", got)
+	}
+	if got := s.ReadTime(j); got != 50 {
+		t.Errorf("ReadTime = %d, want 50", got)
+	}
+}
+
+func TestSharedZeroMemory(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	if (Shared{}).WriteTime(j) != 0 {
+		t.Error("zero memory should cost nothing")
+	}
+}

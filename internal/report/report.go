@@ -1,0 +1,194 @@
+// Package report renders experiment results as aligned ASCII tables and
+// line series, with CSV export for plotting. It is intentionally plain:
+// the paper's figures are bar charts over 16 categories and line plots
+// over load factors, both of which read fine as text.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a labelled 2-D grid of values. NaN cells render as "-".
+type Table struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	Cells     [][]float64
+	Precision int // decimal places; default 2
+	Note      string
+}
+
+// NewTable allocates a rows×cols table filled with NaN.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+		for k := range cells[i] {
+			cells[i][k] = math.NaN()
+		}
+	}
+	return &Table{Title: title, RowLabels: rows, ColLabels: cols, Cells: cells}
+}
+
+// Set assigns one cell.
+func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+func (t *Table) prec() int {
+	if t.Precision == 0 {
+		return 2
+	}
+	return t.Precision
+}
+
+func (t *Table) fmtCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	// Large and integral values read better without decimals.
+	if math.Abs(v) >= 1000 || v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.*f", t.prec(), v)
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	// Compute column widths.
+	rowW := 0
+	for _, r := range t.RowLabels {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := make([]int, len(t.ColLabels))
+	for c, lbl := range t.ColLabels {
+		colW[c] = len(lbl)
+		for r := range t.RowLabels {
+			if w := len(t.fmtCell(t.Cells[r][c])); w > colW[c] {
+				colW[c] = w
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", rowW, "")
+	for c, lbl := range t.ColLabels {
+		fmt.Fprintf(&b, "  %*s", colW[c], lbl)
+	}
+	b.WriteByte('\n')
+	for r, lbl := range t.RowLabels {
+		fmt.Fprintf(&b, "%-*s", rowW, lbl)
+		for c := range t.ColLabels {
+			fmt.Fprintf(&b, "  %*s", colW[c], t.fmtCell(t.Cells[r][c]))
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV emits the table as comma-separated values with the row label in
+// the first column.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("category")
+	for _, lbl := range t.ColLabels {
+		fmt.Fprintf(&b, ",%s", csvEscape(lbl))
+	}
+	b.WriteByte('\n')
+	for r, lbl := range t.RowLabels {
+		b.WriteString(csvEscape(lbl))
+		for c := range t.ColLabels {
+			v := t.Cells[r][c]
+			if math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Line is one named series in a Series plot.
+type Line struct {
+	Name string
+	Y    []float64
+}
+
+// Series is a family of lines over a shared x-axis — the shape of the
+// paper's load-variation and utilization figures.
+type Series struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Lines  []Line
+}
+
+// Add appends a line; its length must match X.
+func (s *Series) Add(name string, y []float64) {
+	if len(y) != len(s.X) {
+		panic(fmt.Sprintf("report: line %q has %d points, x-axis has %d", name, len(y), len(s.X)))
+	}
+	s.Lines = append(s.Lines, Line{Name: name, Y: y})
+}
+
+// Render draws the series as an aligned table with x in the first
+// column.
+func (s *Series) Render() string {
+	title := s.Title
+	if s.XLabel != "" {
+		title = fmt.Sprintf("%s  (rows: %s)", s.Title, s.XLabel)
+	}
+	rows := make([]string, len(s.X))
+	for i, x := range s.X {
+		rows[i] = fmt.Sprintf("%g", x)
+	}
+	cols := make([]string, len(s.Lines))
+	for li, l := range s.Lines {
+		cols[li] = l.Name
+	}
+	t := NewTable(title, rows, cols)
+	for li, l := range s.Lines {
+		for i, v := range l.Y {
+			t.Set(i, li, v)
+		}
+	}
+	return t.Render()
+}
+
+// CSV emits the series with the x value in the first column.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	xl := s.XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	b.WriteString(csvEscape(xl))
+	for _, l := range s.Lines {
+		fmt.Fprintf(&b, ",%s", csvEscape(l.Name))
+	}
+	b.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, l := range s.Lines {
+			fmt.Fprintf(&b, ",%g", l.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", []string{"VS", "VL"}, []string{"Seq", "VW"})
+	tb.Set(0, 0, 2.6)
+	tb.Set(0, 1, 34.07)
+	tb.Set(1, 0, 1.03)
+	// (1,1) left NaN.
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "34.07") || !strings.Contains(out, "2.60") {
+		t.Errorf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[3], "-") {
+		t.Errorf("NaN cell should render as -:\n%s", out)
+	}
+}
+
+func TestTableLargeValuesNoDecimals(t *testing.T) {
+	tb := NewTable("", []string{"r"}, []string{"c"})
+	tb.Set(0, 0, 135252.4)
+	if !strings.Contains(tb.Render(), "135252") {
+		t.Errorf("big value formatting:\n%s", tb.Render())
+	}
+	if strings.Contains(tb.Render(), "135252.4") {
+		t.Error("big values should drop decimals")
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tb := NewTable("", []string{"r"}, []string{"c"})
+	tb.Note = "hello"
+	if !strings.Contains(tb.Render(), "note: hello") {
+		t.Error("missing note")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", []string{"a,b"}, []string{"x"})
+	tb.Set(0, 0, 1.5)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b",1.5`) {
+		t.Errorf("csv escaping broken:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "category,x\n") {
+		t.Errorf("csv header:\n%s", csv)
+	}
+}
+
+func TestTableCSVNaNEmpty(t *testing.T) {
+	tb := NewTable("T", []string{"a"}, []string{"x", "y"})
+	tb.Set(0, 1, 2)
+	if !strings.Contains(tb.CSV(), "a,,2") {
+		t.Errorf("NaN should be empty in csv:\n%s", tb.CSV())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Title: "Util", XLabel: "load", X: []float64{1, 1.2}}
+	s.Add("NS", []float64{55, 60})
+	s.Add("SS", []float64{56, 64})
+	out := s.Render()
+	for _, want := range []string{"Util", "load", "NS", "SS", "1.2", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "load,NS,SS\n1,55,56\n") {
+		t.Errorf("series csv:\n%s", csv)
+	}
+}
+
+func TestSeriesAddLengthMismatchPanics(t *testing.T) {
+	s := &Series{X: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Add("bad", []float64{1})
+}
+
+func TestPrecision(t *testing.T) {
+	tb := NewTable("", []string{"r"}, []string{"c"})
+	tb.Precision = 4
+	tb.Set(0, 0, math.Pi)
+	if !strings.Contains(tb.Render(), "3.1416") {
+		t.Errorf("precision not honoured:\n%s", tb.Render())
+	}
+}

@@ -1,0 +1,79 @@
+package sched
+
+import "pjs/internal/job"
+
+// Action is the kind of an audit-log entry.
+type Action int
+
+const (
+	// ActArrive records a job submission.
+	ActArrive Action = iota
+	// ActStart records a first dispatch onto a processor set.
+	ActStart
+	// ActResume records a restart of a suspended job.
+	ActResume
+	// ActSuspendBegin records the start of a suspension write; the job
+	// still holds its processors.
+	ActSuspendBegin
+	// ActSuspendDone records the release of a suspended job's
+	// processors.
+	ActSuspendDone
+	// ActFinish records a completion.
+	ActFinish
+	// ActKill records a speculative-execution abort: the job's
+	// processors are released and all its work is discarded.
+	ActKill
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActArrive:
+		return "arrive"
+	case ActStart:
+		return "start"
+	case ActResume:
+		return "resume"
+	case ActSuspendBegin:
+		return "suspend-begin"
+	case ActSuspendDone:
+		return "suspend-done"
+	case ActFinish:
+		return "finish"
+	case ActKill:
+		return "kill"
+	}
+	return "unknown"
+}
+
+// Entry is one audited scheduler action. Procs is a copy of the job's
+// processor set at the time of the action.
+type Entry struct {
+	Time   int64
+	Action Action
+	JobID  int
+	Procs  []int
+	// Static job attributes, so the checker needs no job table.
+	Width   int
+	RunTime int64
+	Submit  int64
+}
+
+// AuditLog is the chronological record of all scheduler actions in a
+// run, consumed by the invariant checker (package check).
+type AuditLog struct {
+	Procs   int // machine size
+	Entries []Entry
+}
+
+func (l *AuditLog) add(now int64, a Action, j *job.Job, procs []int) {
+	l.Entries = append(l.Entries, Entry{
+		Time:    now,
+		Action:  a,
+		JobID:   j.ID,
+		Procs:   append([]int(nil), procs...),
+		Width:   j.Procs,
+		RunTime: j.RunTime,
+		Submit:  j.SubmitTime,
+	})
+}

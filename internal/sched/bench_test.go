@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkProfileFindStart(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewProfile(0, 430)
+	for i := 0; i < 200; i++ {
+		procs := 1 + rng.Intn(64)
+		dur := int64(1 + rng.Intn(7200))
+		start := p.FindStart(int64(rng.Intn(1<<16)), procs, dur)
+		p.Sub(start, start+dur, procs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FindStart(int64(i%(1<<16)), 1+i%64, 3600)
+	}
+}
+
+func BenchmarkProfileSub(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewProfile(0, 430)
+		for k := int64(0); k < 100; k++ {
+			p.Sub(k*10, k*10+500, 4)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package easy_test
+
+import (
+	"testing"
+
+	"pjs/internal/job"
+	"pjs/internal/sched"
+	"pjs/internal/sched/easy"
+	"pjs/internal/workload"
+)
+
+func run(t *testing.T, tr *workload.Trace) map[int]*job.Job {
+	t.Helper()
+	res := sched.Run(tr, easy.New(), sched.Options{MaxSteps: 1_000_000})
+	byID := map[int]*job.Job{}
+	for _, j := range res.Jobs {
+		byID[j.ID] = j
+	}
+	return byID
+}
+
+// The Figure 2 situation: a short job jumps ahead because it terminates
+// before the head's reservation.
+func TestBackfillBeforeShadow(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 100, 100, 3),  // running, ends at 100
+		job.New(2, 10, 200, 200, 4), // head, reservation at 100
+		job.New(3, 20, 50, 50, 1),   // fits the hole: 20+50 ≤ 100
+		job.New(4, 25, 200, 200, 1), // too long for the hole, 0 extra nodes
+	}}
+	byID := run(t, tr)
+	if byID[3].FirstStart != 20 {
+		t.Errorf("job3 start = %d, want 20 (backfilled)", byID[3].FirstStart)
+	}
+	if byID[2].FirstStart != 100 {
+		t.Errorf("job2 start = %d, want 100 (reservation honoured)", byID[2].FirstStart)
+	}
+	if byID[4].FirstStart != 300 {
+		t.Errorf("job4 start = %d, want 300 (after the head)", byID[4].FirstStart)
+	}
+}
+
+// The second legality condition: a long narrow job may backfill if the
+// head leaves processors unused at its start.
+func TestBackfillOnExtraNodes(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 100, 100, 3),  // ends at 100
+		job.New(2, 10, 200, 200, 2), // head: needs 2, reservation at 100
+		job.New(3, 20, 500, 500, 1), // long, but head leaves 2 extra at 100
+	}}
+	byID := run(t, tr)
+	// At t=20: free=1, shadow=100, extra = (1+3)-2 = 2 ≥ 1 → backfill.
+	if byID[3].FirstStart != 20 {
+		t.Errorf("job3 start = %d, want 20 (extra-nodes rule)", byID[3].FirstStart)
+	}
+	if byID[2].FirstStart != 100 {
+		t.Errorf("job2 start = %d, want 100", byID[2].FirstStart)
+	}
+}
+
+// Aggressive backfilling must not delay the FIRST queued job, but may
+// delay later ones (unlike conservative).
+func TestHeadReservationNotDelayed(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 100, 100, 4),
+		job.New(2, 10, 100, 100, 4), // head after j1 starts
+		job.New(3, 20, 90, 100, 2),  // backfill candidate at t=100? no: ends 20+100>100
+	}}
+	byID := run(t, tr)
+	if byID[2].FirstStart != 100 {
+		t.Errorf("job2 start = %d, want 100", byID[2].FirstStart)
+	}
+	// Job 3 (est 100) can't fit before the head's shadow at t=20
+	// (20+100 > 100) and the head leaves 0 extra; it runs after job 2.
+	if byID[3].FirstStart != 200 {
+		t.Errorf("job3 start = %d, want 200", byID[3].FirstStart)
+	}
+}
+
+// Early termination lets the head move up (backfilling works on
+// estimates, completions on actual run times).
+func TestEarlyCompletionPullsQueue(t *testing.T) {
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 30, 100, 4), // estimated 100, actually ends at 30
+		job.New(2, 10, 50, 50, 4),
+	}}
+	byID := run(t, tr)
+	if byID[2].FirstStart != 30 {
+		t.Errorf("job2 start = %d, want 30 (early completion)", byID[2].FirstStart)
+	}
+}
+
+func TestUsesEstimatesNotRunTimes(t *testing.T) {
+	// Job 3's *estimate* is too long to backfill even though its actual
+	// run time would fit — the scheduler cannot know.
+	tr := &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 100, 100, 3),
+		job.New(2, 10, 200, 200, 4), // head, shadow 100
+		job.New(3, 20, 10, 500, 1),  // runs 10s but estimated 500s
+	}}
+	byID := run(t, tr)
+	if byID[3].FirstStart == 20 {
+		t.Error("job3 backfilled on actual run time: scheduler is cheating")
+	}
+}

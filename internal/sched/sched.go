@@ -1,0 +1,391 @@
+// Package sched defines the scheduler framework: the Scheduler interface
+// implemented by every policy (FCFS, conservative and EASY backfilling,
+// Immediate Service, Selective Suspension), the simulation driver that
+// wires a policy to the event engine and the cluster, and shared
+// machinery — preemptive start orchestration with processor claims, an
+// availability profile for backfilling, and an audit log for invariant
+// checking.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pjs/internal/cluster"
+	"pjs/internal/job"
+	"pjs/internal/overhead"
+	"pjs/internal/sim"
+	"pjs/internal/workload"
+)
+
+// Scheduler is a parallel-job scheduling policy. The driver delivers
+// events after performing state bookkeeping (job transitions, processor
+// release, pending-start activation); the policy only decides which jobs
+// to start, suspend or resume, using the Env primitives.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init is called once before the simulation starts.
+	Init(env *Env)
+	// OnArrival is called when j is submitted (j is Queued).
+	OnArrival(j *job.Job)
+	// OnCompletion is called after j finished and released its
+	// processors.
+	OnCompletion(j *job.Job)
+	// OnSuspendDone is called after j's suspension write completed and
+	// its processors were released (minus claims).
+	OnSuspendDone(j *job.Job)
+	// OnTick is called every TickInterval seconds of virtual time.
+	OnTick()
+	// TickInterval returns the periodic-invocation interval in seconds;
+	// 0 disables ticks. The paper's preemption routine runs every
+	// minute.
+	TickInterval() int64
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// Overhead is the suspension/restart cost model; nil means free
+	// (overhead.None), the assumption of Sections IV and VI.
+	Overhead overhead.Model
+	// Audit enables the action log consumed by the invariant checker.
+	Audit bool
+	// MaxSteps aborts runaway simulations (0 = no limit).
+	MaxSteps int64
+	// ContiguousAlloc switches fresh allocations to best-fit contiguous
+	// placement (cluster.BestFitContiguous) — an ablation of placement
+	// locality under local restart.
+	ContiguousAlloc bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Trace names the workload that was run.
+	Trace string
+	// Scheduler names the policy.
+	Scheduler string
+	// Jobs are the completed jobs with full dynamic state (finish
+	// times, suspension counts, ...). They are the clones the run
+	// mutated, not the caller's trace.
+	Jobs []*job.Job
+	// Utilization is busy processor-time over machine capacity between
+	// the first submission and the last completion. Schemes that defer
+	// long jobs (preemptive ones under overload) pay a long low-
+	// parallelism drain tail here.
+	Utilization float64
+	// UtilizationLoaded is busy processor-time over capacity between
+	// the first and the LAST submission — how busy the scheduler keeps
+	// the machine while demand exists, unaffected by the drain tail.
+	// This matches the shape of the paper's Figures 35/38.
+	UtilizationLoaded float64
+	// Start and End delimit the simulated span (first submit, last
+	// completion).
+	Start, End int64
+	// Suspensions is the total number of preemptions performed.
+	Suspensions int
+	// Audit is the action log if Options.Audit was set.
+	Audit *AuditLog
+}
+
+// Makespan returns the simulated span in seconds.
+func (r *Result) Makespan() int64 { return r.End - r.Start }
+
+// Run simulates trace t under policy s and returns the result. The
+// caller's trace is not mutated; jobs are cloned per run.
+func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("sched: invalid trace: %v", err))
+	}
+	oh := opt.Overhead
+	if oh == nil {
+		oh = overhead.None{}
+	}
+	env := &Env{
+		Cluster:  cluster.New(t.Procs),
+		Overhead: oh,
+		sched:    s,
+		byID:     make(map[int]*job.Job),
+	}
+	if opt.ContiguousAlloc {
+		env.Cluster.SetAllocPolicy(cluster.BestFitContiguous)
+	}
+	if opt.Audit {
+		env.Audit = &AuditLog{Procs: t.Procs}
+	}
+	env.engine = sim.New(env, s.TickInterval())
+	if opt.MaxSteps > 0 {
+		env.engine.SetMaxSteps(opt.MaxSteps)
+	}
+	jobs := t.CloneJobs()
+	for _, j := range jobs {
+		env.engine.AddJob(j)
+		env.byID[j.ID] = j
+	}
+	s.Init(env)
+	end := env.engine.Run()
+
+	res := &Result{
+		Trace:     t.Name,
+		Scheduler: s.Name(),
+		Jobs:      jobs,
+		Start:     jobs[0].SubmitTime,
+		End:       end,
+		Audit:     env.Audit,
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			panic(fmt.Sprintf("sched: %s left %v unfinished", s.Name(), j))
+		}
+		res.Suspensions += j.Suspensions
+	}
+	res.Utilization = env.Cluster.Utilization(res.Start, res.End)
+	if env.lastArrival > res.Start {
+		res.UtilizationLoaded = float64(env.busyAtLastArrival) /
+			float64(int64(t.Procs)*(env.lastArrival-res.Start))
+	}
+	return res
+}
+
+// Env is the execution environment handed to a policy: the cluster, the
+// clock, and the state-changing primitives. It also implements
+// sim.Handler, doing the mechanical bookkeeping before delegating the
+// decision to the policy.
+type Env struct {
+	Cluster  *cluster.Cluster
+	Overhead overhead.Model
+	Audit    *AuditLog
+
+	engine  *sim.Engine
+	sched   Scheduler
+	byID    map[int]*job.Job
+	pending []*pendingStart
+
+	// Snapshot of the busy-time integral at the most recent arrival,
+	// for the loaded-period utilization metric.
+	lastArrival       int64
+	busyAtLastArrival int64
+}
+
+// pendingStart is a job committed to start on a claimed processor set as
+// soon as the suspension writes of its victims complete.
+type pendingStart struct {
+	j     *job.Job
+	claim []int
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() int64 { return e.engine.Now() }
+
+// JobByID returns the job with the given ID, or nil.
+func (e *Env) JobByID(id int) *job.Job { return e.byID[id] }
+
+// IsPending reports whether j is committed to a claimed pending start.
+func (e *Env) IsPending(j *job.Job) bool {
+	for _, p := range e.pending {
+		if p.j == j {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingCount returns the number of jobs waiting on claimed sets.
+func (e *Env) PendingCount() int { return len(e.pending) }
+
+// StartFresh starts queued job j on any free processors if enough are
+// available right now; it reports whether the job was started.
+func (e *Env) StartFresh(j *job.Job) bool {
+	if j.State != job.Queued || j.Suspensions > 0 {
+		panic(fmt.Sprintf("sched: StartFresh on %v", j))
+	}
+	if e.Cluster.FreeUnclaimed() < j.Procs {
+		return false
+	}
+	procs := e.Cluster.AllocFree(e.Now(), j.ID, j.Procs)
+	j.ProcSet = procs
+	e.dispatch(j, 0)
+	return true
+}
+
+// Resume restarts suspended job j on its remembered processor set if the
+// whole set is currently free; it reports whether the job was resumed.
+// The restart read overhead is charged.
+func (e *Env) Resume(j *job.Job) bool {
+	if j.State != job.Suspended {
+		panic(fmt.Sprintf("sched: Resume on %v", j))
+	}
+	if !e.Cluster.SetFree(j.ID, j.ProcSet) {
+		return false
+	}
+	e.Cluster.AllocSet(e.Now(), j.ID, j.ProcSet)
+	e.dispatch(j, e.Overhead.ReadTime(j))
+	return true
+}
+
+// ResumeAnywhere restarts suspended job j on any free processors —
+// the *migratable* preemption model of Parsons & Sevcik, used by the
+// migration ablation to quantify the cost of the paper's local-restart
+// constraint. It reports whether the job was resumed.
+func (e *Env) ResumeAnywhere(j *job.Job) bool {
+	if j.State != job.Suspended {
+		panic(fmt.Sprintf("sched: ResumeAnywhere on %v", j))
+	}
+	if e.Cluster.FreeUnclaimed() < j.Procs {
+		return false
+	}
+	j.ProcSet = e.Cluster.AllocFree(e.Now(), j.ID, j.Procs)
+	e.dispatch(j, e.Overhead.ReadTime(j))
+	return true
+}
+
+// dispatch records the (re)start, schedules completion and audits.
+func (e *Env) dispatch(j *job.Job, readOH int64) {
+	done := j.Dispatch(e.Now(), readOH)
+	e.engine.ScheduleCompletion(j, done)
+	if e.Audit != nil {
+		act := ActStart
+		if j.Suspensions > 0 {
+			act = ActResume
+		}
+		e.Audit.add(e.Now(), act, j, j.ProcSet)
+	}
+}
+
+// PreemptAndStart suspends the victim jobs and commits j to start on
+// claim — a set of exactly j.Procs processors, each either free (and
+// unclaimed, or claimed by j… never the case here) or owned by one of
+// the victims. The victims begin their suspension writes immediately; j
+// starts when the last claimed processor is released. The caller is
+// responsible for having validated the preemption policy conditions.
+func (e *Env) PreemptAndStart(j *job.Job, victims []*job.Job, claim []int) {
+	if len(claim) != j.Procs {
+		panic(fmt.Sprintf("sched: claim of %d processors for %v", len(claim), j))
+	}
+	if j.State != job.Queued && j.State != job.Suspended {
+		panic(fmt.Sprintf("sched: PreemptAndStart on %v", j))
+	}
+	for _, v := range victims {
+		e.beginSuspend(v)
+	}
+	e.Cluster.Claim(j.ID, claim)
+	e.pending = append(e.pending, &pendingStart{j: j, claim: claim})
+	e.activatePending()
+}
+
+// Kill aborts running job j, releasing its processors immediately and
+// discarding all of its work (speculative backfilling's failed gamble).
+// The caller is responsible for requeueing the job.
+func (e *Env) Kill(j *job.Job) {
+	if j.State != job.Running {
+		panic(fmt.Sprintf("sched: Kill on %v", j))
+	}
+	set := j.ProcSet
+	j.Kill(e.Now())
+	e.Cluster.Release(e.Now(), j.ID, set)
+	if e.Audit != nil {
+		e.Audit.add(e.Now(), ActKill, j, set)
+	}
+	e.activatePending()
+}
+
+// Suspend begins suspension of running job j without committing its
+// processors to any successor — used by policies that drain the machine
+// wholesale (gang scheduling's row switch) rather than preempting for a
+// specific beneficiary.
+func (e *Env) Suspend(j *job.Job) { e.beginSuspend(j) }
+
+// beginSuspend moves a running victim into the Suspending state and
+// schedules the end of its memory-image write.
+func (e *Env) beginSuspend(v *job.Job) {
+	if v.State != job.Running {
+		panic(fmt.Sprintf("sched: suspend of %v", v))
+	}
+	v.Preempt(e.Now())
+	if e.Audit != nil {
+		e.Audit.add(e.Now(), ActSuspendBegin, v, v.ProcSet)
+	}
+	e.engine.ScheduleSuspendDone(v, e.Now()+e.Overhead.WriteTime(v))
+}
+
+// activatePending starts every pending job whose claimed set is fully
+// released.
+func (e *Env) activatePending() {
+	kept := e.pending[:0]
+	for _, p := range e.pending {
+		if e.Cluster.ClaimReady(p.claim) {
+			e.Cluster.AllocSet(e.Now(), p.j.ID, p.claim)
+			readOH := int64(0)
+			if p.j.State == job.Suspended {
+				readOH = e.Overhead.ReadTime(p.j)
+			}
+			p.j.ProcSet = p.claim
+			e.dispatch(p.j, readOH)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	e.pending = kept
+}
+
+// HandleArrival implements sim.Handler.
+func (e *Env) HandleArrival(j *job.Job) {
+	e.lastArrival = e.Now()
+	e.busyAtLastArrival = e.Cluster.BusyIntegral(e.Now())
+	if e.Audit != nil {
+		e.Audit.add(e.Now(), ActArrive, j, nil)
+	}
+	e.sched.OnArrival(j)
+}
+
+// HandleCompletion implements sim.Handler: finish bookkeeping, processor
+// release and pending activation happen before the policy reacts.
+func (e *Env) HandleCompletion(j *job.Job) {
+	j.Complete(e.Now())
+	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
+	if e.Audit != nil {
+		e.Audit.add(e.Now(), ActFinish, j, j.ProcSet)
+	}
+	e.engine.JobFinished()
+	e.activatePending()
+	e.sched.OnCompletion(j)
+}
+
+// HandleSuspendDone implements sim.Handler.
+func (e *Env) HandleSuspendDone(j *job.Job) {
+	j.SuspendDone()
+	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
+	if e.Audit != nil {
+		e.Audit.add(e.Now(), ActSuspendDone, j, j.ProcSet)
+	}
+	e.activatePending()
+	e.sched.OnSuspendDone(j)
+}
+
+// HandleTick implements sim.Handler.
+func (e *Env) HandleTick() { e.sched.OnTick() }
+
+// SortByXFactor sorts jobs by descending xfactor at time now, breaking
+// ties by earlier submission then lower ID for determinism.
+func SortByXFactor(jobs []*job.Job, now int64) {
+	sort.SliceStable(jobs, func(i, k int) bool {
+		xi, xk := jobs[i].XFactor(now), jobs[k].XFactor(now)
+		if xi != xk {
+			return xi > xk
+		}
+		if jobs[i].SubmitTime != jobs[k].SubmitTime {
+			return jobs[i].SubmitTime < jobs[k].SubmitTime
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+}
+
+// Remove deletes j from queue, preserving order, and returns the
+// shortened slice.
+func Remove(queue []*job.Job, j *job.Job) []*job.Job {
+	for i, q := range queue {
+		if q == j {
+			return append(queue[:i], queue[i+1:]...)
+		}
+	}
+	return queue
+}

@@ -1,0 +1,105 @@
+package ss_test
+
+import (
+	"testing"
+
+	"pjs/internal/check"
+	"pjs/internal/job"
+	"pjs/internal/sched"
+	"pjs/internal/sched/ss"
+	"pjs/internal/workload"
+)
+
+// migrationScenario builds a trace where the local-restart constraint
+// demonstrably hurts: after a preemption, job A's old processors are
+// taken by a newcomer while other processors sit free.
+func migrationScenario() *workload.Trace {
+	return &workload.Trace{Name: "t", Procs: 4, Jobs: []*job.Job{
+		job.New(1, 0, 1000, 1000, 2),    // jA on {0,1}
+		job.New(2, 50, 10000, 10000, 2), // jB on {2,3}
+		job.New(3, 100, 100, 100, 4),    // jC suspends both at tick 240
+		job.New(4, 250, 200, 200, 2),    // jD grabs {0,1} at 340
+	}}
+}
+
+func TestLocalRestartWaitsForOldSet(t *testing.T) {
+	byID := run(t, migrationScenario(), ss.Config{SF: 2})
+	// jD starts on jA's old processors at 340; jA (local restart) must
+	// wait for jD to finish at 540 even though {2,3}-style capacity
+	// frees up, then completes its remaining 760 s.
+	if byID[4].FirstStart != 340 {
+		t.Fatalf("jD start = %d, want 340", byID[4].FirstStart)
+	}
+	if byID[1].FinishTime != 1300 {
+		t.Errorf("jA finish = %d, want 1300 (blocked on its old set)", byID[1].FinishTime)
+	}
+	// jB's set stayed free and it resumed immediately.
+	if byID[2].FinishTime != 10150 {
+		t.Errorf("jB finish = %d, want 10150", byID[2].FinishTime)
+	}
+}
+
+func TestMigrationResumesOnAnyFreeProcessors(t *testing.T) {
+	res := sched.Run(migrationScenario(), ss.New(ss.Config{SF: 2, Migration: true}),
+		sched.Options{Audit: true, MaxSteps: 2_000_000})
+	byID := map[int]*job.Job{}
+	for _, j := range res.Jobs {
+		byID[j.ID] = j
+	}
+	// jA migrates to the free processors at 340 instead of waiting.
+	if byID[1].FinishTime != 1100 {
+		t.Errorf("jA finish = %d, want 1100 (migrated restart)", byID[1].FinishTime)
+	}
+	// jB loses the race for the free pair and follows at 540.
+	if byID[2].FinishTime != 10350 {
+		t.Errorf("jB finish = %d, want 10350", byID[2].FinishTime)
+	}
+	// The audit must pass with (and only with) the migration waiver.
+	if err := check.Check(res.Audit, check.Options{ZeroOverhead: true, AllowMigration: true}); err != nil {
+		t.Errorf("migration run failed relaxed check: %v", err)
+	}
+	if err := check.Check(res.Audit, check.Options{ZeroOverhead: true}); err == nil {
+		t.Error("strict local-restart check should reject a migrated resume")
+	}
+}
+
+func TestMigrationName(t *testing.T) {
+	if got := ss.New(ss.Config{SF: 2, Migration: true}).Name(); got != "SS-mig(SF=2)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestMigrationRandomizedInvariants(t *testing.T) {
+	m := workload.SDSC()
+	m.Procs = 64
+	for seed := int64(1); seed <= 3; seed++ {
+		tr := workload.Generate(m, workload.GenOptions{Jobs: 300, Seed: seed})
+		res := sched.Run(tr, ss.New(ss.Config{SF: 1.5, Migration: true}),
+			sched.Options{Audit: true, MaxSteps: 10_000_000})
+		if err := check.Check(res.Audit, check.Options{ZeroOverhead: true, AllowMigration: true}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// Migration can only help mean turnaround/slowdown in aggregate: the
+// scheduler has strictly more placement freedom. Individual jobs can
+// lose (as jB above), so compare aggregates with slack.
+func TestMigrationHelpsOnAverage(t *testing.T) {
+	m := workload.SDSC()
+	tr := workload.Generate(m, workload.GenOptions{Jobs: 1500, Seed: 6})
+	local := sched.Run(tr, ss.New(ss.Config{SF: 2}), sched.Options{MaxSteps: 20_000_000})
+	mig := sched.Run(tr, ss.New(ss.Config{SF: 2, Migration: true}), sched.Options{MaxSteps: 20_000_000})
+	meanTAT := func(r *sched.Result) float64 {
+		var s float64
+		for _, j := range r.Jobs {
+			s += float64(j.Turnaround())
+		}
+		return s / float64(len(r.Jobs))
+	}
+	l, g := meanTAT(local), meanTAT(mig)
+	if g > 1.1*l {
+		t.Errorf("migration mean TAT %.0f much worse than local %.0f", g, l)
+	}
+	t.Logf("mean TAT: local=%.0f migratable=%.0f", l, g)
+}

@@ -1,0 +1,188 @@
+// Package sim implements the discrete-event simulation core: a
+// deterministic event queue with a virtual clock, epoch-invalidated job
+// events, and periodic scheduler ticks (the paper's one-minute preemption
+// routine). The engine knows nothing about scheduling policy; a Handler
+// (the scheduler driver) receives the events.
+package sim
+
+import (
+	"fmt"
+
+	"pjs/internal/job"
+)
+
+// Kind discriminates event types. The numeric order doubles as the
+// processing priority for events with equal timestamps: completions free
+// processors before arrivals and ticks observe them.
+type Kind int
+
+const (
+	// Completion fires when a running job finishes its compute.
+	Completion Kind = iota
+	// SuspendDone fires when a suspending job's memory image write
+	// finishes and its processors are released.
+	SuspendDone
+	// Arrival fires when a job is submitted.
+	Arrival
+	// Tick fires periodically to run the scheduler's preemption routine.
+	Tick
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Completion:
+		return "completion"
+	case SuspendDone:
+		return "suspend-done"
+	case Arrival:
+		return "arrival"
+	case Tick:
+		return "tick"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is a scheduled occurrence. Job events carry the job's Epoch at
+// scheduling time; if the job's epoch has moved on (it was preempted or
+// resumed), the event is stale and silently dropped.
+type Event struct {
+	Time  int64
+	Kind  Kind
+	Job   *job.Job
+	Epoch int
+	seq   int64 // insertion order, final tie-break for determinism
+}
+
+// Handler receives simulation events in virtual-time order.
+type Handler interface {
+	// HandleArrival is called when j is submitted.
+	HandleArrival(j *job.Job)
+	// HandleCompletion is called when j's compute finishes. The handler
+	// is responsible for releasing processors and marking the job done.
+	HandleCompletion(j *job.Job)
+	// HandleSuspendDone is called when j's suspension write completes.
+	HandleSuspendDone(j *job.Job)
+	// HandleTick is called every TickInterval seconds while the
+	// simulation has unfinished jobs, if the interval is non-zero.
+	HandleTick()
+}
+
+// Engine owns the virtual clock and the pending-event heap.
+type Engine struct {
+	now          int64
+	seq          int64
+	heap         eventHeap
+	handler      Handler
+	tickInterval int64
+	nextTick     int64
+	totalJobs    int
+	finishedJobs int
+	steps        int64
+	maxSteps     int64
+}
+
+// New returns an engine delivering events to h. tickInterval of 0
+// disables ticks.
+func New(h Handler, tickInterval int64) *Engine {
+	return &Engine{handler: h, tickInterval: tickInterval, nextTick: -1}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() int64 { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// SetMaxSteps installs a safety valve: Run panics after n events. Zero
+// (the default) means no limit. Used by tests to catch livelock bugs.
+func (e *Engine) SetMaxSteps(n int64) { e.maxSteps = n }
+
+// AddJob schedules the arrival of j. All jobs must be added before Run.
+func (e *Engine) AddJob(j *job.Job) {
+	e.totalJobs++
+	e.push(&Event{Time: j.SubmitTime, Kind: Arrival, Job: j})
+}
+
+// ScheduleCompletion schedules j's completion at time at, bound to the
+// job's current epoch. Preempting the job invalidates the event.
+func (e *Engine) ScheduleCompletion(j *job.Job, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: completion for %v scheduled in the past (%d < %d)", j, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: Completion, Job: j, Epoch: j.Epoch})
+}
+
+// ScheduleSuspendDone schedules the end of j's suspension write at time
+// at, bound to the job's current epoch.
+func (e *Engine) ScheduleSuspendDone(j *job.Job, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: suspend-done for %v scheduled in the past (%d < %d)", j, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: SuspendDone, Job: j, Epoch: j.Epoch})
+}
+
+// JobFinished must be called by the handler once per job, from
+// HandleCompletion; Run returns when every added job has finished.
+func (e *Engine) JobFinished() { e.finishedJobs++ }
+
+func (e *Engine) push(ev *Event) {
+	ev.seq = e.seq
+	e.seq++
+	e.heap.push(ev)
+}
+
+// stale reports whether a job-bound event no longer reflects the job's
+// state and must be dropped.
+func stale(ev *Event) bool {
+	switch ev.Kind {
+	case Completion:
+		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Running
+	case SuspendDone:
+		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Suspending
+	}
+	return false
+}
+
+// Run processes events until all jobs have finished. It returns the
+// finish time of the last job (the makespan end).
+func (e *Engine) Run() int64 {
+	if e.tickInterval > 0 && e.heap.len() > 0 {
+		e.nextTick = e.heap.min().Time + e.tickInterval
+		e.push(&Event{Time: e.nextTick, Kind: Tick})
+	}
+	for e.finishedJobs < e.totalJobs {
+		if e.heap.len() == 0 {
+			panic(fmt.Sprintf("sim: deadlock at t=%d with %d/%d jobs finished",
+				e.now, e.finishedJobs, e.totalJobs))
+		}
+		ev := e.heap.pop()
+		if ev.Time < e.now {
+			panic(fmt.Sprintf("sim: time moved backwards %d -> %d", e.now, ev.Time))
+		}
+		e.now = ev.Time
+		e.steps++
+		if e.maxSteps > 0 && e.steps > e.maxSteps {
+			panic(fmt.Sprintf("sim: exceeded %d steps at t=%d (livelock?)", e.maxSteps, e.now))
+		}
+		switch ev.Kind {
+		case Arrival:
+			e.handler.HandleArrival(ev.Job)
+		case Completion:
+			if !stale(ev) {
+				e.handler.HandleCompletion(ev.Job)
+			}
+		case SuspendDone:
+			if !stale(ev) {
+				e.handler.HandleSuspendDone(ev.Job)
+			}
+		case Tick:
+			if e.finishedJobs < e.totalJobs {
+				e.handler.HandleTick()
+				e.nextTick = e.now + e.tickInterval
+				e.push(&Event{Time: e.nextTick, Kind: Tick})
+			}
+		}
+	}
+	return e.now
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pjs/internal/job"
+)
+
+// recordingHandler runs every job immediately on arrival, serially on an
+// imaginary infinite machine, and records the order of callbacks.
+type recordingHandler struct {
+	eng    *Engine
+	events []string
+	ticks  int
+}
+
+func (h *recordingHandler) HandleArrival(j *job.Job) {
+	h.events = append(h.events, "arrive")
+	done := j.Dispatch(h.eng.Now(), 0)
+	h.eng.ScheduleCompletion(j, done)
+}
+
+func (h *recordingHandler) HandleCompletion(j *job.Job) {
+	h.events = append(h.events, "complete")
+	j.Complete(h.eng.Now())
+	h.eng.JobFinished()
+}
+
+func (h *recordingHandler) HandleSuspendDone(j *job.Job) {
+	h.events = append(h.events, "suspend-done")
+}
+
+func (h *recordingHandler) HandleTick() { h.ticks++ }
+
+func TestEngineRunsJobsToCompletion(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	j1 := job.New(1, 0, 100, 100, 1)
+	j2 := job.New(2, 50, 10, 10, 1)
+	e.AddJob(j1)
+	e.AddJob(j2)
+	end := e.Run()
+	if end != 100 {
+		t.Errorf("end = %d, want 100", end)
+	}
+	if j1.FinishTime != 100 || j2.FinishTime != 60 {
+		t.Errorf("finish times %d,%d want 100,60", j1.FinishTime, j2.FinishTime)
+	}
+}
+
+func TestCompletionBeforeArrivalAtSameInstant(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 100, 100, 1)) // completes at 100
+	e.AddJob(job.New(2, 100, 10, 10, 1)) // arrives at 100
+	e.Run()
+	want := []string{"arrive", "complete", "arrive", "complete"}
+	if len(h.events) != len(want) {
+		t.Fatalf("events = %v", h.events)
+	}
+	for i := range want {
+		if h.events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", h.events, want)
+		}
+	}
+}
+
+func TestTicksFireAtInterval(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 60)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 600, 600, 1))
+	e.Run()
+	// Ticks at 60,120,...,600; the tick at 600 is not delivered because
+	// the completion (same time, lower kind) finishes the run first.
+	if h.ticks != 9 {
+		t.Errorf("ticks = %d, want 9", h.ticks)
+	}
+}
+
+func TestNoTicksWhenDisabled(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 600, 600, 1))
+	e.Run()
+	if h.ticks != 0 {
+		t.Errorf("ticks = %d, want 0", h.ticks)
+	}
+}
+
+// staleHandler preempts the job right after dispatch so that the original
+// completion event becomes stale, then re-dispatches.
+type staleHandler struct {
+	eng         *Engine
+	completions int
+}
+
+func (h *staleHandler) HandleArrival(j *job.Job) {
+	done := j.Dispatch(h.eng.Now(), 0)
+	h.eng.ScheduleCompletion(j, done) // will become stale
+	j.Preempt(h.eng.Now())
+	h.eng.ScheduleSuspendDone(j, h.eng.Now()+5)
+}
+
+func (h *staleHandler) HandleCompletion(j *job.Job) {
+	h.completions++
+	j.Complete(h.eng.Now())
+	h.eng.JobFinished()
+}
+
+func (h *staleHandler) HandleSuspendDone(j *job.Job) {
+	j.SuspendDone()
+	done := j.Dispatch(h.eng.Now(), 0)
+	h.eng.ScheduleCompletion(j, done)
+}
+
+func (h *staleHandler) HandleTick() {}
+
+func TestStaleCompletionDropped(t *testing.T) {
+	h := &staleHandler{}
+	e := New(h, 0)
+	h.eng = e
+	j := job.New(1, 0, 100, 100, 1)
+	e.AddJob(j)
+	end := e.Run()
+	if h.completions != 1 {
+		t.Errorf("completions = %d, want exactly 1 (stale dropped)", h.completions)
+	}
+	if end != 105 { // 5s suspended at t=0, then 100s of work
+		t.Errorf("end = %d, want 105", end)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.now = 100
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for past completion")
+		}
+	}()
+	e.ScheduleCompletion(job.New(1, 0, 10, 10, 1), 50)
+}
+
+func TestMaxStepsPanics(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 1) // tick every second, forever-ish
+	h.eng = e
+	e.AddJob(job.New(1, 0, 1000, 1000, 1))
+	e.SetMaxSteps(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic after max steps")
+		}
+	}()
+	e.Run()
+}
+
+func TestHeapOrdering(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	times := make([]int64, n)
+	for i := range times {
+		times[i] = int64(rng.Intn(100))
+		h.push(&Event{Time: times[i], Kind: Kind(rng.Intn(4))})
+	}
+	var prev *Event
+	for h.len() > 0 {
+		ev := h.pop()
+		if prev != nil && eventLess(ev, prev) {
+			t.Fatalf("heap order violated: %v after %v", ev, prev)
+		}
+		prev = ev
+	}
+}
+
+func TestHeapTieBreakByKindThenSeq(t *testing.T) {
+	var h eventHeap
+	e := &Engine{}
+	e.heap = h
+	// Same time, different kinds, inserted in reverse priority order.
+	e.push(&Event{Time: 10, Kind: Tick})
+	e.push(&Event{Time: 10, Kind: Arrival})
+	e.push(&Event{Time: 10, Kind: SuspendDone})
+	e.push(&Event{Time: 10, Kind: Completion})
+	want := []Kind{Completion, SuspendDone, Arrival, Tick}
+	for i, k := range want {
+		if got := e.heap.pop().Kind; got != k {
+			t.Fatalf("pop %d = %v, want %v", i, got, k)
+		}
+	}
+	// Same time and kind: FIFO by insertion.
+	a := &Event{Time: 5, Kind: Arrival}
+	b := &Event{Time: 5, Kind: Arrival}
+	e.push(a)
+	e.push(b)
+	if e.heap.pop() != a || e.heap.pop() != b {
+		t.Error("equal events should pop in insertion order")
+	}
+}
+
+// Property: the heap pops any random sequence of events in sorted order.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(ts []int16) bool {
+		e := &Engine{}
+		for _, ti := range ts {
+			e.push(&Event{Time: int64(ti), Kind: Arrival})
+		}
+		got := make([]int64, 0, len(ts))
+		for e.heap.len() > 0 {
+			got = append(got, e.heap.pop().Time)
+		}
+		return sort.SliceIsSorted(got, func(i, k int) bool { return got[i] < got[k] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Completion: "completion", SuspendDone: "suspend-done",
+		Arrival: "arrival", Tick: "tick",
+	}
+	for k, w := range names {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), w)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (Time, Kind, seq).
+// Ordering by Kind at equal times makes completions visible to arrivals
+// and ticks at the same instant; seq keeps the order deterministic. A
+// hand-rolled heap (rather than container/heap) avoids the interface
+// boxing on the hot path — the event queue is the simulator's innermost
+// data structure.
+type eventHeap struct {
+	a []*Event
+}
+
+func eventLess(x, y *Event) bool {
+	if x.Time != y.Time {
+		return x.Time < y.Time
+	}
+	if x.Kind != y.Kind {
+		return x.Kind < y.Kind
+	}
+	return x.seq < y.seq
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+// min returns the earliest event without removing it.
+func (h *eventHeap) min() *Event { return h.a[0] }
+
+func (h *eventHeap) push(ev *Event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.a[i], h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *Event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = nil // let the GC reclaim the event
+	h.a = h.a[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(h.a[l], h.a[small]) {
+			small = l
+		}
+		if r < n && eventLess(h.a[r], h.a[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+}

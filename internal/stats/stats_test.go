@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d, want 8", a.N())
+	}
+	if !almost(a.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	if !almost(a.Min(), 2) || !almost(a.Max(), 9) {
+		t.Errorf("Min,Max = %v,%v want 2,9", a.Min(), a.Max())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !almost(a.Var(), 32.0/7.0) {
+		t.Errorf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Error("zero-value Acc should report zeros")
+	}
+}
+
+func TestAccMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		ok := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 }
+		var all, a, b Acc
+		for _, x := range xs {
+			if !ok(x) {
+				return true
+			}
+			all.Add(x)
+			a.Add(x)
+		}
+		for _, y := range ys {
+			if !ok(y) {
+				return true
+			}
+			all.Add(y)
+			b.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-6 && math.Abs(a.Var()-all.Var()) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean")
+	}
+	if !almost(Max([]float64{1, 7, 3}), 7) {
+		t.Error("Max")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if !almost(Percentile(xs, 0), 15) {
+		t.Errorf("P0 = %v", Percentile(xs, 0))
+	}
+	if !almost(Percentile(xs, 100), 50) {
+		t.Errorf("P100 = %v", Percentile(xs, 100))
+	}
+	if !almost(Percentile(xs, 50), 35) {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 20) {
+		t.Errorf("P25 = %v", Percentile(xs, 25))
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileClampsP(t *testing.T) {
+	xs := []float64{1, 2}
+	if !almost(Percentile(xs, -5), 1) || !almost(Percentile(xs, 150), 2) {
+		t.Error("out-of-range p should clamp")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if !almost(Median([]float64{1, 3, 2}), 2) {
+		t.Error("odd median")
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("even median")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.Counts[0] != 3 { // -1 (clamped), 0, 1.9
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.99, 10 (clamped), 100 (clamped)
+		t.Errorf("bin4 = %d, want 3", h.Counts[4])
+	}
+	lo, hi := h.Bin(1)
+	if !almost(lo, 2) || !almost(hi, 4) {
+		t.Errorf("Bin(1) = [%v,%v), want [2,4)", lo, hi)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: percentile of a sorted sample is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev-1e-12 {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAccMergeEmptyCases(t *testing.T) {
+	var a, b Acc
+	a.Merge(&b) // both empty
+	if a.N() != 0 {
+		t.Error("merge of empties should stay empty")
+	}
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 1 || !almost(a.Mean(), 5) {
+		t.Error("merge into empty should copy")
+	}
+}

@@ -1,0 +1,45 @@
+package theory
+
+import "testing"
+
+// FuzzTwoTask checks the Section IV-A timeline generator over arbitrary
+// parameters: it must terminate, conserve work exactly, and never
+// produce overlapping segments.
+func FuzzTwoTask(f *testing.F) {
+	f.Add(int64(3600), 2.0, int64(60))
+	f.Add(int64(1), 1.0, int64(1))
+	f.Add(int64(100000), 1.0001, int64(7))
+	f.Fuzz(func(t *testing.T, length int64, sf float64, tick int64) {
+		if length <= 0 || length > 1_000_000 {
+			return
+		}
+		if sf < 1 || sf > 100 {
+			return
+		}
+		if tick < 0 || tick > length {
+			return
+		}
+		tl := TwoTask(length, sf, tick)
+		var ran [3]int64
+		prevEnd := int64(-1 << 62)
+		for _, s := range tl.Segments {
+			if s.Task != 1 && s.Task != 2 {
+				t.Fatalf("bad task id %d", s.Task)
+			}
+			if s.Start < prevEnd {
+				t.Fatalf("overlapping segments at %d", s.Start)
+			}
+			if s.End < s.Start {
+				t.Fatalf("negative segment [%d,%d)", s.Start, s.End)
+			}
+			prevEnd = s.End
+			ran[s.Task] += s.End - s.Start
+		}
+		if ran[1] != length || ran[2] != length {
+			t.Fatalf("work not conserved: %d,%d want %d", ran[1], ran[2], length)
+		}
+		if tl.Finish1 != prevEnd && tl.Finish2 != prevEnd {
+			t.Fatal("finish times inconsistent with last segment")
+		}
+	})
+}

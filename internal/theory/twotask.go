@@ -1,0 +1,166 @@
+// Package theory reproduces the closed-form analysis of Section IV-A:
+// two identical tasks submitted simultaneously to an empty machine
+// alternate under the Selective Suspension rule, and the suspension
+// factor controls how many times they swap (Figures 4, 5 and 6). The
+// paper derives that the k-th suspension requires the waiting task's
+// priority to reach s^k, that priorities cap at 2 when the running task
+// completes, and hence that s = (n+2)/(n+1) restricts the system to at
+// most n suspensions — s = 2 eliminates suspension entirely.
+package theory
+
+import "fmt"
+
+// Segment is one execution burst in a two-task timeline.
+type Segment struct {
+	Task  int // 1 or 2
+	Start int64
+	End   int64
+}
+
+// Timeline is the full execution pattern of the two tasks.
+type Timeline struct {
+	SF          float64
+	Length      int64 // L: each task's run time
+	Segments    []Segment
+	Suspensions int
+	// Finish1 and Finish2 are the completion times of tasks 1 and 2.
+	Finish1, Finish2 int64
+}
+
+// TwoTask computes the execution pattern of two identical tasks of
+// length L (seconds) under suspension factor sf, with the preemption
+// routine running every tick seconds (tick ≤ 1 gives the continuous
+// limit of the paper's figures).
+//
+// Task 1 starts immediately; task 2 waits until its xfactor reaches
+// sf times task 1's (frozen) xfactor, preempts it, and so on. A swap
+// that would coincide with the running task's completion does not
+// happen — completion wins, which is why sf = 2 yields zero suspensions.
+func TwoTask(L int64, sf float64, tick int64) *Timeline {
+	if L <= 0 {
+		panic("theory: task length must be positive")
+	}
+	if sf < 1 {
+		panic("theory: suspension factor must be ≥ 1")
+	}
+	if tick <= 0 {
+		tick = 1
+	}
+	tl := &Timeline{SF: sf, Length: L}
+
+	// State: r runs, w waits. wait[i] is frozen while i runs and grows
+	// while it waits; ran[i] accumulates bursts; xfactor = (wait+L)/L.
+	var ran [3]int64
+	var wait [3]int64
+	r, w := 1, 2
+	now := int64(0)
+	burstStart := now
+	finish := func(i int) *int64 {
+		if i == 1 {
+			return &tl.Finish1
+		}
+		return &tl.Finish2
+	}
+
+	for {
+		// Completion of r if undisturbed.
+		tFin := now + (L - ran[r])
+		// Swap condition: wait[w] + (t - now) ≥ sf*(wait[r]+L) - L,
+		// evaluated at tick boundaries.
+		need := int64(sf*float64(wait[r]+L)) - L - wait[w]
+		tSwap := now + need
+		if tSwap < now {
+			tSwap = now
+		}
+		// Round up to the next tick; a swap cannot fire at the very
+		// instant of the previous one (SF = 1 would otherwise ping-pong
+		// at time zero — the preemption routine's granularity is the
+		// only brake, exactly as Figure 4 notes).
+		if rem := tSwap % tick; rem != 0 {
+			tSwap += tick - rem
+		}
+		if tSwap <= now {
+			tSwap = now + tick
+		}
+		if tSwap < tFin {
+			// Preemption: record r's burst, swap roles.
+			tl.Segments = append(tl.Segments, Segment{Task: r, Start: burstStart, End: tSwap})
+			ran[r] += tSwap - burstStart
+			wait[w] += tSwap - now
+			tl.Suspensions++
+			r, w = w, r
+			now = tSwap
+			burstStart = now
+		} else {
+			// r completes; w runs to completion.
+			tl.Segments = append(tl.Segments, Segment{Task: r, Start: burstStart, End: tFin})
+			*finish(r) = tFin
+			wait[w] += tFin - now
+			rest := L - ran[w]
+			tl.Segments = append(tl.Segments, Segment{Task: w, Start: tFin, End: tFin + rest})
+			*finish(w) = tFin + rest
+			return tl
+		}
+	}
+}
+
+// MaxSuspensions returns the number of suspensions two identical
+// simultaneous tasks incur under suspension factor sf in the continuous
+// limit: the count of k ≥ 1 with sf^k < 2 (each level of the priority
+// ladder reached before the running task's completion caps it at 2).
+// sf = 1 diverges; -1 is returned to signal "unbounded" ("with s = 1,
+// the number of suspensions is very large, bounded only by the
+// granularity of the preemption routine").
+func MaxSuspensions(sf float64) int {
+	if sf <= 1 {
+		return -1
+	}
+	n := 0
+	x := sf
+	for x < 2 {
+		n++
+		x *= sf
+	}
+	return n
+}
+
+// SFForAtMost returns the paper's boundary suspension factor
+// s = (n+2)/(n+1) that restricts two identical simultaneous tasks to at
+// most n suspensions.
+func SFForAtMost(n int) float64 {
+	if n < 0 {
+		panic("theory: negative suspension count")
+	}
+	return float64(n+2) / float64(n+1)
+}
+
+// Render draws the timeline as ASCII art, one row per task — a textual
+// Figure 4/5/6. cols is the drawing width in characters.
+func (tl *Timeline) Render(cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	end := tl.Finish1
+	if tl.Finish2 > end {
+		end = tl.Finish2
+	}
+	rows := [3][]byte{}
+	for i := 1; i <= 2; i++ {
+		rows[i] = make([]byte, cols)
+		for k := range rows[i] {
+			rows[i][k] = '.'
+		}
+	}
+	for _, s := range tl.Segments {
+		a := int(int64(cols) * s.Start / end)
+		b := int(int64(cols) * s.End / end)
+		if b > cols {
+			b = cols
+		}
+		for k := a; k < b; k++ {
+			rows[s.Task][k] = '#'
+		}
+	}
+	return fmt.Sprintf("SF=%-4g suspensions=%d\nT1 |%s|\nT2 |%s|\n",
+		tl.SF, tl.Suspensions, rows[1], rows[2])
+}

@@ -1,0 +1,172 @@
+package theory
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSFTwoNoSuspension(t *testing.T) {
+	// Figure 6: SF = 2 → the two tasks run back to back.
+	tl := TwoTask(1000, 2, 1)
+	if tl.Suspensions != 0 {
+		t.Errorf("suspensions = %d, want 0", tl.Suspensions)
+	}
+	if tl.Finish1 != 1000 || tl.Finish2 != 2000 {
+		t.Errorf("finishes = %d,%d want 1000,2000", tl.Finish1, tl.Finish2)
+	}
+}
+
+func TestSFOnePointFiveOneSuspension(t *testing.T) {
+	// s = 1.5 = (1+2)/(1+1): at most one suspension, and it occurs.
+	tl := TwoTask(1000, 1.5, 1)
+	if tl.Suspensions != 1 {
+		t.Errorf("suspensions = %d, want 1", tl.Suspensions)
+	}
+	// Swap at t = (s-1)L = 500: T2 runs 500-1500, T1 finishes last.
+	if tl.Segments[0].End != 500 {
+		t.Errorf("first burst ends at %d, want 500", tl.Segments[0].End)
+	}
+	if tl.Finish2 != 1500 {
+		t.Errorf("T2 finish = %d, want 1500", tl.Finish2)
+	}
+	if tl.Finish1 != 2000 {
+		t.Errorf("T1 finish = %d, want 2000", tl.Finish1)
+	}
+}
+
+func TestLowSFManySuspensions(t *testing.T) {
+	// Figure 4: SF close to 1 → many alternations.
+	tl := TwoTask(10000, 1.01, 1)
+	if tl.Suspensions < 10 {
+		t.Errorf("suspensions = %d, want many for SF≈1", tl.Suspensions)
+	}
+}
+
+func TestWorkConservedInTimeline(t *testing.T) {
+	for _, sf := range []float64{1.1, 1.3, 1.5, 2, 5} {
+		tl := TwoTask(777, sf, 1)
+		var ran [3]int64
+		prevEnd := int64(0)
+		for _, s := range tl.Segments {
+			if s.Start < prevEnd {
+				t.Fatalf("sf=%v: overlapping segments", sf)
+			}
+			prevEnd = s.End
+			ran[s.Task] += s.End - s.Start
+		}
+		if ran[1] != 777 || ran[2] != 777 {
+			t.Errorf("sf=%v: ran %d,%d want 777,777", sf, ran[1], ran[2])
+		}
+	}
+}
+
+func TestMaxSuspensionsLadder(t *testing.T) {
+	cases := []struct {
+		sf   float64
+		want int
+	}{
+		{2, 0}, {2.5, 0}, {5, 0},
+		{1.5, 1}, {1.9, 1},
+		{4.0 / 3.0, 2},
+		{1.25, 3},
+	}
+	for _, c := range cases {
+		if got := MaxSuspensions(c.sf); got != c.want {
+			t.Errorf("MaxSuspensions(%v) = %d, want %d", c.sf, got, c.want)
+		}
+	}
+	if MaxSuspensions(1) != -1 {
+		t.Error("SF=1 must report unbounded")
+	}
+}
+
+// The paper's boundary: s = (n+2)/(n+1) yields at most n suspensions,
+// both in the closed form and in the simulated timeline.
+func TestBoundaryFormulaAgreesWithTimeline(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		s := SFForAtMost(n)
+		if got := MaxSuspensions(s); got > n {
+			t.Errorf("MaxSuspensions(SFForAtMost(%d)=%v) = %d > %d", n, s, got, n)
+		}
+		tl := TwoTask(100000, s, 1)
+		if tl.Suspensions > n {
+			t.Errorf("timeline at s=%v: %d suspensions > %d", s, tl.Suspensions, n)
+		}
+	}
+}
+
+// The exact rungs of the suspension ladder sit at s = 2^(1/k): crossing
+// one from above adds a suspension.
+func TestLadderBoundaries(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		s := math.Pow(2, 1/float64(k))
+		above := MaxSuspensions(s + 1e-9)
+		below := MaxSuspensions(s - 1e-9)
+		if above != k-1 || below != k {
+			t.Errorf("k=%d (s=%v): above=%d below=%d, want %d,%d",
+				k, s, above, below, k-1, k)
+		}
+	}
+}
+
+// Timeline suspension counts agree with the closed form in the
+// continuous limit for a spread of factors.
+func TestTimelineMatchesClosedForm(t *testing.T) {
+	for sf := 1.05; sf < 3; sf += 0.07 {
+		want := MaxSuspensions(sf)
+		tl := TwoTask(1000000, sf, 1)
+		if tl.Suspensions != want {
+			t.Errorf("sf=%v: timeline %d, closed form %d", sf, tl.Suspensions, want)
+		}
+	}
+}
+
+func TestCoarseTickDelaysSwaps(t *testing.T) {
+	fine := TwoTask(10000, 1.5, 1)
+	coarse := TwoTask(10000, 1.5, 60)
+	if coarse.Suspensions > fine.Suspensions {
+		t.Error("coarser ticks cannot create extra suspensions")
+	}
+	// The swap moves to the next tick boundary.
+	if coarse.Segments[0].End%60 != 0 {
+		t.Errorf("swap at %d not on a tick boundary", coarse.Segments[0].End)
+	}
+}
+
+func TestSFForAtMost(t *testing.T) {
+	if SFForAtMost(0) != 2 {
+		t.Error("n=0 boundary must be 2")
+	}
+	if math.Abs(SFForAtMost(1)-1.5) > 1e-12 {
+		t.Error("n=1 boundary must be 1.5")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := TwoTask(1000, 1.5, 1)
+	out := tl.Render(40)
+	if !strings.Contains(out, "T1 |") || !strings.Contains(out, "T2 |") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("render has no execution marks")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero length": func() { TwoTask(0, 2, 1) },
+		"sf below 1":  func() { TwoTask(10, 0.5, 1) },
+		"negative n":  func() { SFForAtMost(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import "pjs/internal/job"
+
+// AbortStress builds the deterministic workload behind the paper's
+// Section V discussion of speculative backfilling: a 64-processor
+// machine congested by 4-hour jobs whose widths (30/20/60) keep EASY's
+// backfill legality rules closed, plus a stream of "aborting" jobs —
+// 2 minutes of actual work behind a 4-hour wall-clock request. Such jobs
+// can only start early by gambling on a hole shorter than their
+// estimate, so the trace isolates exactly the population speculative
+// backfilling is supposed to help (and that skews whole-trace averages,
+// the paper's warning).
+//
+// rounds scales the length of the trace; each round contributes three
+// background jobs and one abort-like job over two simulated hours.
+func AbortStress(rounds int) *Trace {
+	if rounds < 1 {
+		rounds = 1
+	}
+	tr := &Trace{Name: "abort-stress", Procs: 64}
+	id := 1
+	widths := []int{30, 20, 60}
+	offsets := []int64{0, 10, 20} // stagger within the round
+	for i := 0; i < rounds; i++ {
+		base := int64(i) * 7200
+		for k, w := range widths {
+			tr.Jobs = append(tr.Jobs, job.New(id, base+offsets[k], 14400, 14400, w))
+			id++
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		tr.Jobs = append(tr.Jobs, job.New(id, 2500+int64(i)*7200, 120, 14400, 14))
+		id++
+	}
+	tr.SortBySubmit()
+	return tr
+}

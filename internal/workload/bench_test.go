@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkGenerateCTC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(CTC(), GenOptions{Jobs: 10000, Seed: int64(i + 1)})
+	}
+}
+
+func BenchmarkSWFParse(b *testing.B) {
+	tr := Generate(SDSC(), GenOptions{Jobs: 10000, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSWF(bytes.NewReader(raw), "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleLoad(b *testing.B) {
+	tr := Generate(CTC(), GenOptions{Jobs: 10000, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ScaleLoad(1.3)
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import "pjs/internal/job"
+
+// FitModel estimates a synthetic Model from an existing trace (e.g. a
+// real SWF log): machine size, the Table I category mix, offered load,
+// and the width/run-time caps. It closes the loop between real logs and
+// the generator — fit a site's log once, then synthesize arbitrarily
+// long or rescaled variants of it.
+//
+// The diurnal amplitude is estimated from the hour-of-day arrival
+// histogram (peak-to-mean excursion, clamped to [0, 0.9]).
+func FitModel(t *Trace) Model {
+	m := Model{
+		Name:  t.Name + "-fit",
+		Procs: t.Procs,
+	}
+	if len(t.Jobs) == 0 {
+		return m
+	}
+	m.Mix = t.DistributionTable()
+	m.OfferedLoad = t.OfferedLoad()
+
+	maxW := 0
+	var maxRun int64
+	for _, j := range t.Jobs {
+		if j.Procs > maxW {
+			maxW = j.Procs
+		}
+		if j.RunTime > maxRun {
+			maxRun = j.RunTime
+		}
+	}
+	m.MaxWidth = maxW
+	m.MaxRun = maxRun
+	if m.MaxRun <= job.LongMax {
+		// Degenerate logs without very-long jobs still need a
+		// non-empty VL band for the generator.
+		m.MaxRun = 2 * job.LongMax
+	}
+
+	// Diurnal amplitude: mean absolute excursion of the hourly arrival
+	// rate around uniform, scaled so a pure sinusoid of amplitude A
+	// (whose mean |sin| is 2A/π) recovers A.
+	h := t.HourHistogram()
+	const uniform = 1.0 / 24
+	excursion := 0.0
+	for _, v := range h {
+		d := v - uniform
+		if d < 0 {
+			d = -d
+		}
+		excursion += d
+	}
+	amp := excursion / 24 / uniform * 3.14159265 / 2
+	if amp > 0.9 {
+		amp = 0.9
+	}
+	m.DailyCycle = amp
+	return m
+}

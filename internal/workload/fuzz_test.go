@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF hardens the trace parser: arbitrary input must never
+// panic, and any trace it accepts must be internally consistent
+// (sorted, estimates ≥ run times — the invariants Validate would need).
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; MaxProcs: 4\n1 0 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("")
+	f.Add(";\n; Computer:\n")
+	f.Add("1 2 3\n")
+	f.Add("1 0 -1 1e9 2 -1 -1 2 1e18 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadSWF(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		prev := int64(-1 << 62)
+		for _, j := range tr.Jobs {
+			if j.SubmitTime < prev {
+				t.Fatalf("unsorted output: %d after %d", j.SubmitTime, prev)
+			}
+			prev = j.SubmitTime
+			if j.RunTime <= 0 || j.Procs <= 0 {
+				t.Fatalf("accepted unsimulatable job %+v", j)
+			}
+			if j.Estimate < j.RunTime {
+				t.Fatalf("estimate %d below run time %d", j.Estimate, j.RunTime)
+			}
+		}
+		// Accepted traces must round-trip through the writer.
+		if len(tr.Jobs) > 0 && tr.Procs > 0 {
+			var buf bytes.Buffer
+			if err := WriteSWF(&buf, tr); err != nil {
+				t.Fatalf("write-back failed: %v", err)
+			}
+			back, err := ReadSWF(&buf, "fuzz2")
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if len(back.Jobs) != len(tr.Jobs) {
+				t.Fatalf("round trip lost jobs: %d vs %d", len(back.Jobs), len(tr.Jobs))
+			}
+		}
+	})
+}

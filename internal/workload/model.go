@@ -1,0 +1,162 @@
+package workload
+
+import "pjs/internal/job"
+
+// Model describes a synthetic workload calibrated to one of the paper's
+// supercomputer-center logs. The published results are driven by the
+// category mix (run-time × width distribution, Tables II/III), the
+// machine size, and the offered load; a Model captures exactly those.
+type Model struct {
+	// Name of the source log this model imitates.
+	Name string
+	// Procs is the machine size.
+	Procs int
+	// Mix[length][width] is the fraction of jobs in each Table I
+	// category; rows/cols follow job.Length and job.Width order. Rows
+	// need not be exactly normalized — the generator normalizes.
+	Mix [4][4]float64
+	// OfferedLoad is the target ratio of requested work to machine
+	// capacity at load factor 1.0, calibrated so that the baseline
+	// (NS) utilization matches the paper's Figures 35/38.
+	OfferedLoad float64
+	// MaxWidth caps the VeryWide class (defaults to Procs).
+	MaxWidth int
+	// MaxRun caps the VeryLong class in seconds (default 50 h).
+	MaxRun int64
+	// DailyCycle modulates the arrival rate with a day/night sinusoid
+	// of this relative amplitude in [0,1); 0 disables. Real logs are
+	// strongly diurnal, which creates the transient backlogs that
+	// preemption exploits.
+	DailyCycle float64
+}
+
+// CTC imitates the 430-node IBM SP2 log from the Cornell Theory Center.
+// The mix is Table II of the paper. OfferedLoad, DailyCycle, MaxWidth
+// and MaxRun are calibrated against the paper's published numbers: the
+// non-preemptive baseline lands at ~56% utilization at load 1.0
+// (Figure 35) with per-category average slowdowns close to Table IV
+// (measured at 8000 jobs: overall 5.8 vs the paper's 3.6, VS-VW 35 vs
+// 34). MaxRun reflects SP2 queue wall-clock limits, MaxWidth the fact
+// that even "very wide" requests rarely approached the full machine.
+func CTC() Model {
+	return Model{
+		Name:  "CTC",
+		Procs: 430,
+		Mix: [4][4]float64{
+			//  Seq    N     W     VW
+			{0.14, 0.08, 0.13, 0.09}, // VS
+			{0.18, 0.04, 0.06, 0.02}, // S
+			{0.06, 0.03, 0.09, 0.02}, // L
+			{0.02, 0.02, 0.01, 0.01}, // VL
+		},
+		OfferedLoad: 0.55,
+		DailyCycle:  0.25,
+		MaxWidth:    160,
+		MaxRun:      18 * 3600,
+	}
+}
+
+// SDSC imitates the 128-node IBM SP2 log from the San Diego Supercomputer
+// Center (mix from Table III). Calibration targets Figure 38 (~65%
+// baseline utilization at load 1.0) and Table V (measured at 8000 jobs:
+// VS-N 13 vs the paper's 14.4, VS-W 44 vs 37.8, VL-VW 1.3 vs 1.4; the
+// VS-VW cell runs ~2× hot because independent sampling cannot reproduce
+// the log's width/length correlations).
+func SDSC() Model {
+	return Model{
+		Name:  "SDSC",
+		Procs: 128,
+		Mix: [4][4]float64{
+			//  Seq    N     W     VW
+			{0.08, 0.29, 0.09, 0.04}, // VS
+			{0.02, 0.08, 0.05, 0.03}, // S
+			{0.08, 0.05, 0.06, 0.01}, // L
+			{0.03, 0.05, 0.03, 0.01}, // VL
+		},
+		OfferedLoad: 0.64,
+		DailyCycle:  0.2,
+		MaxWidth:    64,
+		MaxRun:      12 * 3600,
+	}
+}
+
+// KTH imitates the 100-node IBM SP2 log from the Swedish Royal Institute
+// of Technology. The paper used it but does not publish its category
+// table ("we observed similar performance trends with all the three
+// traces"); this mix interpolates between CTC and SDSC.
+func KTH() Model {
+	return Model{
+		Name:  "KTH",
+		Procs: 100,
+		Mix: [4][4]float64{
+			//  Seq    N     W     VW
+			{0.11, 0.18, 0.11, 0.06}, // VS
+			{0.10, 0.06, 0.06, 0.03}, // S
+			{0.07, 0.04, 0.08, 0.02}, // L
+			{0.02, 0.03, 0.02, 0.01}, // VL
+		},
+		OfferedLoad: 0.58,
+		DailyCycle:  0.22,
+		MaxWidth:    80,
+		MaxRun:      12 * 3600,
+	}
+}
+
+// ModelByName returns the named built-in model (case-sensitive: "CTC",
+// "SDSC", "KTH") and whether it exists.
+func ModelByName(name string) (Model, bool) {
+	switch name {
+	case "CTC":
+		return CTC(), true
+	case "SDSC":
+		return SDSC(), true
+	case "KTH":
+		return KTH(), true
+	}
+	return Model{}, false
+}
+
+// classRunRange returns the run-time sampling band for a length class,
+// honouring the model's MaxRun cap.
+func (m Model) classRunRange(l job.Length) (lo, hi int64) {
+	maxRun := m.MaxRun
+	if maxRun == 0 {
+		maxRun = 50 * 3600
+	}
+	switch l {
+	case job.VeryShort:
+		return 10, job.VeryShortMax
+	case job.Short:
+		return job.VeryShortMax + 1, job.ShortMax
+	case job.Long:
+		return job.ShortMax + 1, job.LongMax
+	default:
+		return job.LongMax + 1, maxRun
+	}
+}
+
+// classWidthRange returns the processor sampling band for a width class,
+// honouring machine size.
+func (m Model) classWidthRange(w job.Width) (lo, hi int) {
+	maxW := m.MaxWidth
+	if maxW == 0 || maxW > m.Procs {
+		maxW = m.Procs
+	}
+	switch w {
+	case job.Sequential:
+		return 1, 1
+	case job.Narrow:
+		return 2, min(job.NarrowMax, maxW)
+	case job.Wide:
+		return job.NarrowMax + 1, min(job.WideMax, maxW)
+	default:
+		return job.WideMax + 1, maxW
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
