@@ -59,6 +59,10 @@ func main() {
 
 	runner := pjs.NewRunner(pjs.ExpConfig{Jobs: *jobs, Seed: *seed, Verify: *verify})
 	for _, e := range selected {
+		// Wall-clock here times the experiment for the operator's stderr
+		// progress line only; it never enters simulation state, which is
+		// why cmd/ sits outside the pjslint wallclock check's scope (the
+		// allowlist rationale lives on internal/lint.WallclockCheck).
 		start := time.Now()
 		out := e.Run(runner)
 		if !*quiet {

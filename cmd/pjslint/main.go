@@ -1,0 +1,139 @@
+// Command pjslint runs the simulator's determinism & invariant static
+// analyses (package pjs/internal/lint) over the module and exits
+// non-zero on findings. It is part of the tier-1 gate:
+//
+//	go vet ./... && go run ./cmd/pjslint ./... && go build ./... && go test -race ./...
+//
+// Usage:
+//
+//	pjslint ./...              # whole module (the default)
+//	pjslint ./internal/sched   # one subtree
+//	pjslint -list              # describe the checks and exit
+//
+// Findings print as file:line:col: pjslint/<check>: message. A finding
+// can be suppressed at one site with a justified directive on the same
+// line or the line above:
+//
+//	//lint:ignore pjslint/<check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pjs/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the registered checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.AllChecks() {
+			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expand(loader, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	checks := lint.AllChecks()
+	findings := 0
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range lint.Run(p, checks) {
+			fmt.Println(rel(root, d))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pjslint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// expand resolves package patterns ("./...", "dir/...", "dir") into
+// module import paths, deduplicated and sorted.
+func expand(l *lint.Loader, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(paths []string) {
+		for _, p := range paths {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if rel, err := filepath.Rel(l.Root, dir); err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", pat, l.Module)
+		}
+		if recursive {
+			paths, err := l.ModulePackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(paths)
+			continue
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		add([]string{ip})
+	}
+	return out, nil
+}
+
+// rel shortens absolute diagnostic paths to module-relative ones.
+func rel(root string, d lint.Diagnostic) string {
+	s := d.String()
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		s = fmt.Sprintf("%s:%d:%d: pjslint/%s: %s", r, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pjslint:", err)
+	os.Exit(2)
+}

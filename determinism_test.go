@@ -1,0 +1,95 @@
+package pjs_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pjs"
+)
+
+// TestSchedulerRegistryDoubleRunDeterminism runs every registered
+// policy twice over the same seeded synthetic workload and asserts the
+// two audit logs are byte-identical. This is the dynamic complement to
+// the pjslint static checks: stablesort/maporder prove the absence of
+// known nondeterminism *patterns*, while this test catches any source
+// the analyses cannot see (map-order leaks through interfaces, hidden
+// global state, allocator-address comparisons, ...).
+func TestSchedulerRegistryDoubleRunDeterminism(t *testing.T) {
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 300, Seed: 7})
+	for _, spec := range pjs.SchedulerSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			run := func() string {
+				s, err := pjs.NewScheduler(spec)
+				if err != nil {
+					t.Fatalf("NewScheduler(%q): %v", spec, err)
+				}
+				res := pjs.Simulate(trace, s, pjs.Options{Audit: true, MaxSteps: 10_000_000})
+				return res.Audit.String()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("%s: audit logs differ between identical runs (%d vs %d bytes):\n%s",
+					spec, len(a), len(b), firstDivergence(a, b))
+			}
+		})
+	}
+}
+
+// TestDoubleRunDeterminismWithOverhead repeats the double-run check for
+// the preemptive policies under the disk overhead model, which
+// exercises the suspend/resume and pending-claim machinery the
+// zero-overhead runs skip.
+func TestDoubleRunDeterminismWithOverhead(t *testing.T) {
+	trace := pjs.Generate(pjs.CTC(), pjs.GenOptions{Jobs: 250, Seed: 11})
+	for _, spec := range []string{"ss:2", "tss:2", "ssmig:2", "gang"} {
+		t.Run(spec, func(t *testing.T) {
+			run := func() string {
+				s, err := pjs.NewScheduler(spec)
+				if err != nil {
+					t.Fatalf("NewScheduler(%q): %v", spec, err)
+				}
+				opt := pjs.DiskOverhead()
+				opt.Audit = true
+				opt.MaxSteps = 10_000_000
+				res := pjs.Simulate(trace, s, opt)
+				return res.Audit.String()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("%s: audit logs differ between identical runs (%d vs %d bytes):\n%s",
+					spec, len(a), len(b), firstDivergence(a, b))
+			}
+		})
+	}
+}
+
+// TestSchedulerSpecsAllConstruct pins the registry to NewScheduler:
+// every listed spec must build, and the registry must cover each
+// distinct policy name exactly once.
+func TestSchedulerSpecsAllConstruct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range pjs.SchedulerSpecs() {
+		s, err := pjs.NewScheduler(spec)
+		if err != nil {
+			t.Errorf("registry spec %q does not construct: %v", spec, err)
+			continue
+		}
+		if seen[s.Name()] {
+			t.Errorf("registry spec %q duplicates policy %q", spec, s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+// firstDivergence renders the first differing line of two audit logs
+// for a readable failure message.
+func firstDivergence(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+		}
+	}
+	return "logs diverge only in length"
+}

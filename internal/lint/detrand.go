@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetrandCheck forbids the global math/rand source in non-test code.
+// The package-level functions (rand.Intn, rand.Float64, ...) draw from a
+// process-global generator whose sequence interleaves across every
+// caller, so two runs of the same experiment can diverge the moment any
+// other code path consumes randomness. All stochastic behaviour must
+// come from an explicitly seeded *rand.Rand threaded through the call
+// chain, the way workload.Generate does (rand.New(rand.NewSource(
+// opt.Seed))). Constructors (rand.New, rand.NewSource, rand.NewZipf)
+// are allowed — they are exactly how the seeded generator is built.
+type DetrandCheck struct{}
+
+// detrandAllowed are the math/rand entry points that build an explicit
+// generator rather than consuming the global one.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Name implements Check.
+func (*DetrandCheck) Name() string { return "detrand" }
+
+// Doc implements Check.
+func (*DetrandCheck) Doc() string {
+	return "no global math/rand functions; randomness must come from an explicitly seeded *rand.Rand"
+}
+
+// Applies implements Check. Every package of the module is in scope;
+// test files are already excluded at load time.
+func (*DetrandCheck) Applies(string) bool { return true }
+
+// Run implements Check.
+func (*DetrandCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(p, call)
+			if !ok || !isMathRand(path) || detrandAllowed[name] {
+				return true
+			}
+			rep.Reportf(call.Pos(),
+				"rand.%s uses the process-global source; draw from an explicitly seeded *rand.Rand instead", name)
+			return true
+		})
+	}
+}
+
+// isMathRand matches both math/rand and math/rand/v2.
+func isMathRand(path string) bool {
+	return path == "math/rand" || strings.HasPrefix(path, "math/rand/")
+}

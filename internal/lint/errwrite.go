@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrwriteCheck flags discarded error returns from io.Writer-family
+// calls in the packages that persist results: cmd/ (CSV dumps, SWF
+// traces, report files) and internal/report. A swallowed short write
+// turns a full disk or closed pipe into silently truncated experiment
+// output — worse than a crash, because the numbers look plausible.
+//
+// Exemptions, because they cannot fail or failure is unactionable:
+//   - writes to in-memory sinks (*strings.Builder, *bytes.Buffer);
+//   - fmt.Fprint/Fprintf/Fprintln to os.Stdout or os.Stderr — the
+//     standard CLI idiom for progress and diagnostics, where there is
+//     nowhere left to report a failure anyway.
+//
+// Everything else — os.WriteFile, io.Copy, io.WriteString, fmt.Fprint*
+// to a file or buffered writer, and Write/WriteString/Flush method
+// calls — must have its error consumed. Close is deliberately not a
+// write: closing a read-only input file has no error worth handling.
+type ErrwriteCheck struct{}
+
+// errwriteScopes are the import-path prefixes that persist output.
+var errwriteScopes = []string{"pjs/cmd/", "pjs/internal/report"}
+
+// errwriteMethods are the writer-family method names whose error result
+// must be consumed.
+var errwriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Flush":       true,
+}
+
+// Name implements Check.
+func (*ErrwriteCheck) Name() string { return "errwrite" }
+
+// Doc implements Check.
+func (*ErrwriteCheck) Doc() string {
+	return "output-writing calls in cmd/ and internal/report must not discard their error"
+}
+
+// Applies implements Check.
+func (*ErrwriteCheck) Applies(pkgPath string) bool {
+	for _, s := range errwriteScopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Check.
+func (c *ErrwriteCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				// A call whose error position is assigned to the blank
+				// identifier, e.g. `_, _ = fmt.Fprintf(w, ...)`.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				rhs, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || len(n.Lhs) == 0 {
+					return true
+				}
+				if last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); !ok || last.Name != "_" {
+					return true
+				}
+				call = rhs
+			default:
+				return true
+			}
+			if call == nil || !returnsError(p, call) || !writerFamily(p, call) {
+				return true
+			}
+			rep.Reportf(call.Pos(),
+				"%s discards its write error; a short write silently truncates output", callLabel(p, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return isErrorType(last)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// writerFamily reports whether the call is an output-writing call in
+// scope for the rule, after the documented exemptions.
+func writerFamily(p *Package, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFunc(p, call); ok {
+		switch {
+		case path == "os" && name == "WriteFile":
+			return true
+		case path == "io" && (name == "Copy" || name == "WriteString" || name == "CopyN"):
+			return true
+		case path == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+			return len(call.Args) > 0 && !exemptWriter(p, call.Args[0])
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errwriteMethods[sel.Sel.Name] {
+		return false
+	}
+	// Method call: require a concrete receiver expression that is not an
+	// in-memory sink.
+	if _, isSel := p.Info.Selections[sel]; !isSel {
+		return false
+	}
+	return !exemptWriter(p, sel.X)
+}
+
+// exemptWriter reports whether the writer expression is an in-memory
+// sink or a standard diagnostic stream.
+func exemptWriter(p *Package, w ast.Expr) bool {
+	// os.Stdout / os.Stderr by name.
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if ident, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[ident].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	tv, ok := p.Info.Types[w]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callLabel renders a short name for the flagged call.
+func callLabel(p *Package, call *ast.CallExpr) string {
+	if path, name, ok := pkgFunc(p, call); ok {
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			path = path[i+1:]
+		}
+		return path + "." + name
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "(writer)." + sel.Sel.Name
+	}
+	return "write call"
+}

@@ -1,0 +1,215 @@
+// Package lint is a stdlib-only static-analysis suite enforcing the
+// simulator's determinism and invariant rules at build time. The paper's
+// results (the SS/TSS slowdown tables, the 16-category breakdowns, the
+// load-variation sweeps) are reproducible only if a run is
+// bit-deterministic for a given seed, so the properties that guarantee
+// that — virtual time only, seeded randomness only, order-stable sorts,
+// no map-iteration-order leaks — are machine-checked rather than
+// rediscovered per code review.
+//
+// The suite is built on go/parser, go/ast and go/types with a
+// module-aware loader (see Loader) so that go.mod stays dependency-free.
+// Each rule is a Check; the five shipped checks are wallclock, detrand,
+// stablesort, maporder and errwrite (see their files for the precise
+// semantics). Diagnostics carry exact file:line:col positions and can be
+// suppressed, one site at a time, with a justified directive:
+//
+//	//lint:ignore pjslint/<check> <reason>
+//
+// placed on the offending line or the line directly above it. A
+// directive without a reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: pjslint/%s: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one static-analysis rule.
+type Check interface {
+	// Name is the short rule identifier used in diagnostics and in
+	// suppression directives (e.g. "wallclock").
+	Name() string
+	// Doc is a one-line description for the driver's -list output.
+	Doc() string
+	// Applies reports whether the rule is in scope for the package with
+	// the given import path. Scoping is by path so that fixture packages
+	// can opt in under synthetic paths.
+	Applies(pkgPath string) bool
+	// Run inspects the package and reports findings.
+	Run(p *Package, rep *Reporter)
+}
+
+// AllChecks returns the full rule set in stable order.
+func AllChecks() []Check {
+	return []Check{
+		&WallclockCheck{},
+		&DetrandCheck{},
+		&StablesortCheck{},
+		&MaporderCheck{},
+		&ErrwriteCheck{},
+	}
+}
+
+// CheckByName resolves a rule identifier.
+func CheckByName(name string) (Check, bool) {
+	for _, c := range AllChecks() {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Reporter collects diagnostics for one check over one package.
+type Reporter struct {
+	check string
+	fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	*r.diags = append(*r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Check:   r.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every in-scope check to the package, filters findings
+// through lint:ignore directives, and returns the surviving diagnostics
+// sorted by position. Malformed directives are reported under the
+// synthetic check name "directive".
+func Run(p *Package, checks []Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		if !c.Applies(p.Path) {
+			continue
+		}
+		c.Run(p, &Reporter{check: c.Name(), fset: p.Fset, diags: &diags})
+	}
+	ignores, bad := collectIgnores(p)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, k int) bool {
+		if kept[i].Pos.Filename != kept[k].Pos.Filename {
+			return kept[i].Pos.Filename < kept[k].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[k].Pos.Line {
+			return kept[i].Pos.Line < kept[k].Pos.Line
+		}
+		if kept[i].Pos.Column != kept[k].Pos.Column {
+			return kept[i].Pos.Column < kept[k].Pos.Column
+		}
+		return kept[i].Check < kept[k].Check
+	})
+	return kept
+}
+
+// ignoreKey identifies one suppression site: a file line and the check
+// it silences.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppresses reports whether d is covered by a directive on its own
+// line or the line directly above.
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+}
+
+// collectIgnores scans every comment in the package for lint:ignore
+// directives. Well-formed directives land in the returned set; malformed
+// ones (wrong check name, missing reason) become diagnostics so that a
+// typo cannot silently disable enforcement.
+func collectIgnores(p *Package) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Check:   "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if fields[0] != "lint:ignore" || len(fields) < 2 ||
+					!strings.HasPrefix(fields[1], "pjslint/") {
+					// Prose that merely mentions the directive; the
+					// diagnostic it failed to suppress will still fire.
+					continue
+				}
+				name := strings.TrimPrefix(fields[1], "pjslint/")
+				if _, ok := CheckByName(name); !ok {
+					report(c.Pos(), "lint:ignore names unknown check %q", name)
+					continue
+				}
+				if len(fields) < 3 {
+					report(c.Pos(), "lint:ignore pjslint/%s needs a reason", name)
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				set[ignoreKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// pkgFunc resolves a call of the form pkg.Fn(...) where pkg is an
+// imported package name; it returns the package's import path and the
+// function name. ok is false for method calls and locally-defined
+// selectors.
+func pkgFunc(p *Package, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// newTestLoader builds a loader rooted at the module (two levels up from
+// this package).
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// want is one expected diagnostic: a fixture line and a message regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRe extracts `// want "regexp"` expectations from fixture sources.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"|// want ` + "`([^`]+)`")
+
+// parseWants scans the fixture directory's sources for want comments.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			wants = append(wants, want{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// fixtureCases pairs every check with its corpus directory and the
+// synthetic import path that puts the fixture in the check's scope.
+var fixtureCases = []struct {
+	check  string
+	asPath string
+}{
+	{"wallclock", "pjs/internal/fixture/wallclock"},
+	{"detrand", "pjs/fixture/detrand"},
+	{"stablesort", "pjs/internal/sched/fixture/stablesort"},
+	{"maporder", "pjs/internal/sim/fixture/maporder"},
+	{"errwrite", "pjs/internal/report/fixture"},
+}
+
+// TestCheckFixtures runs each check over its fixture package and
+// demands an exact match between produced diagnostics and the want
+// comments: same file, same line, message matching the pattern — no
+// extras, no misses. Suppressed sites appear in the fixtures with a
+// lint:ignore directive and no want comment, so an ignored suppression
+// shows up as an unexpected diagnostic.
+func TestCheckFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.check, func(t *testing.T) {
+			check, ok := CheckByName(tc.check)
+			if !ok {
+				t.Fatalf("no check %q", tc.check)
+			}
+			if !check.Applies(tc.asPath) {
+				t.Fatalf("check %s does not apply to its own fixture path %s", tc.check, tc.asPath)
+			}
+			dir := filepath.Join("testdata", "src", tc.check)
+			l := newTestLoader(t)
+			p, err := l.LoadDir(dir, tc.asPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run(p, []Check{check})
+			wants := parseWants(t, dir)
+
+			matched := make([]bool, len(wants))
+		diag:
+			for _, d := range diags {
+				for i, w := range wants {
+					if matched[i] || !sameFile(d.Pos.Filename, w.file) || d.Pos.Line != w.line {
+						continue
+					}
+					if !w.re.MatchString(d.Message) {
+						t.Errorf("%s:%d: diagnostic %q does not match want %q",
+							w.file, w.line, d.Message, w.re)
+					}
+					matched[i] = true
+					continue diag
+				}
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+			for i, w := range wants {
+				if !matched[i] {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesCleanUnderRemainingChecks cross-applies the full suite to
+// every fixture: a fixture written for one check must not trip another
+// (so the corpus stays a precise specification of each rule).
+func TestFixturesCleanUnderRemainingChecks(t *testing.T) {
+	l := newTestLoader(t)
+	for _, tc := range fixtureCases {
+		p, err := l.LoadDir(filepath.Join("testdata", "src", tc.check), tc.asPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var others []Check
+		for _, c := range AllChecks() {
+			if c.Name() != tc.check {
+				others = append(others, c)
+			}
+		}
+		for _, d := range Run(p, others) {
+			t.Errorf("fixture %s trips foreign check: %s", tc.check, d)
+		}
+	}
+}
+
+// TestDirectiveValidation checks that malformed suppressions are
+// themselves diagnostics and that prose mentioning the directive is not
+// parsed as one.
+func TestDirectiveValidation(t *testing.T) {
+	l := newTestLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "src", "directive"), "pjs/fixture/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(p, AllChecks())
+	if len(diags) != 2 {
+		t.Fatalf("want exactly 2 directive diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "directive" {
+			t.Errorf("unexpected check %q in %s", d.Check, d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, `unknown check "nosuchcheck"`) {
+		t.Errorf("first diagnostic should name the unknown check: %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "needs a reason") {
+		t.Errorf("second diagnostic should demand a reason: %s", diags[1])
+	}
+}
+
+// TestStablesortCatchesReintroducedTieBug reproduces the acceptance
+// criterion end-to-end in miniature: a package with the exact pre-fix
+// easy.shadow sort shape, loaded under the easy package's import path,
+// must yield a stablesort finding at the right position.
+func TestStablesortCatchesReintroducedTieBug(t *testing.T) {
+	dir := t.TempDir()
+	src := `package easy
+
+import "sort"
+
+type rel struct {
+	end   int64
+	procs int
+}
+
+func shadow(rels []rel) {
+	sort.Slice(rels, func(i, k int) bool { return rels[i].end < rels[k].end })
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "easy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newTestLoader(t)
+	p, err := l.LoadDir(dir, "pjs/internal/sched/easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(p, AllChecks())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "stablesort" || d.Pos.Line != 11 {
+		t.Errorf("want stablesort finding at line 11, got %s", d)
+	}
+}
+
+// TestModulePackagesCoversTree sanity-checks the driver's package
+// walker: the module root, the scheduler packages and the lint package
+// itself must all be discovered, and testdata must not.
+func TestModulePackagesCoversTree(t *testing.T) {
+	l := newTestLoader(t)
+	paths, err := l.ModulePackages(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range paths {
+		got[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("walker descended into testdata: %s", p)
+		}
+	}
+	for _, must := range []string{
+		"pjs",
+		"pjs/cmd/pjslint",
+		"pjs/internal/lint",
+		"pjs/internal/sched/easy",
+		"pjs/internal/sched/speculative",
+		"pjs/internal/sim",
+	} {
+		if !got[must] {
+			t.Errorf("walker missed package %s (got %d packages)", must, len(paths))
+		}
+	}
+}
+
+// sameFile compares a diagnostic path against a fixture path regardless
+// of absolute/relative rendering.
+func sameFile(diagPath, fixturePath string) bool {
+	da, err1 := filepath.Abs(diagPath)
+	fa, err2 := filepath.Abs(fixturePath)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(diagPath) == filepath.Base(fixturePath)
+	}
+	return da == fa
+}
+
+// TestRunOnOwnModuleIsClean is the meta-gate: the analysis suite applied
+// to the whole module (the same invocation the tier-1 gate runs) must
+// produce zero findings. This is what keeps the repository permanently
+// at zero determinism debt.
+func TestRunOnOwnModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := newTestLoader(t)
+	paths, err := l.ModulePackages(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := AllChecks()
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range Run(p, checks) {
+			t.Errorf("finding on clean tree: %s", d)
+		}
+	}
+}
+
+// Example_suppression documents the directive syntax next to the code
+// that implements it.
+func Example_suppression() {
+	fmt.Println(`//lint:ignore pjslint/wallclock progress timing only, never enters results`)
+	// Output: //lint:ignore pjslint/wallclock progress timing only, never enters results
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaporderCheck flags map iteration that leaks Go's randomized
+// iteration order into scheduling decisions or the audit trail. Ranging
+// over a map is fine for pure reads and keyed lookups; it becomes a
+// determinism bug the moment the loop body accumulates results into a
+// slice declared outside the loop, or emits audit-log entries, because
+// consecutive runs then observe different orders. The accepted fix is
+// to collect and then sort with a deterministic comparator before use —
+// a sort call later in the same block silences the finding.
+type MaporderCheck struct{}
+
+// maporderScopes mirror the stablesort scope: the decision paths.
+var maporderScopes = []string{"pjs/internal/sched", "pjs/internal/sim"}
+
+// Name implements Check.
+func (*MaporderCheck) Name() string { return "maporder" }
+
+// Doc implements Check.
+func (*MaporderCheck) Doc() string {
+	return "map range in decision paths must not accumulate or audit in iteration order without a sort"
+}
+
+// Applies implements Check.
+func (*MaporderCheck) Applies(pkgPath string) bool {
+	for _, s := range maporderScopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Check. The walk keeps track of each statement's
+// enclosing block so that "is there a sort after the loop?" can be
+// answered for range statements at any nesting depth.
+func (*MaporderCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(p, rs) {
+					continue
+				}
+				reason := orderSensitiveBody(p, rs)
+				if reason == "" {
+					continue
+				}
+				if anySortCall(p, block.List[i+1:]) {
+					continue
+				}
+				rep.Reportf(rs.Pos(),
+					"map iteration order leaks into %s; sort deterministically before use or iterate sorted keys", reason)
+			}
+			return true
+		})
+	}
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(p *Package, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderSensitiveBody reports what the loop body does that is sensitive
+// to iteration order: appending to a slice declared outside the loop, or
+// recording audit-log entries. It returns "" when the body is
+// order-insensitive.
+func orderSensitiveBody(p *Package, rs *ast.RangeStmt) string {
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if identDeclaredBefore(p, lhs, rs) {
+						reason = "a slice accumulated across iterations"
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isAuditEmit(p, n) {
+				reason = "the audit log"
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// identDeclaredBefore reports whether e is an identifier whose
+// declaration precedes the range statement (i.e. the variable outlives
+// the loop).
+func identDeclaredBefore(p *Package, e ast.Expr, rs *ast.RangeStmt) bool {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[ident]
+	if obj == nil {
+		obj = p.Info.Defs[ident]
+	}
+	return obj != nil && obj.Pos() < rs.Pos()
+}
+
+// isAuditEmit reports whether the call records an audit-log entry: a
+// method named add/Add on a value whose named type is AuditLog.
+func isAuditEmit(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "add" && sel.Sel.Name != "Add") {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "AuditLog"
+}
+
+// anySortCall reports whether any of the statements (recursively)
+// contains a call into package sort that actually sorts.
+func anySortCall(p *Package, stmts []ast.Stmt) bool {
+	sorters := map[string]bool{
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	}
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFunc(p, call); ok && path == "sort" && sorters[name] {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

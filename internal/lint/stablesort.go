@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StablesortCheck flags sort.Slice in scheduler and engine code.
+// sort.Slice is an unstable pdqsort: elements comparing equal land in an
+// order that depends on slice length and pivot choice, so a comparator
+// keyed only on, say, projected release time silently breaks bit-level
+// determinism the first time two jobs tie. Policies must either use
+// sort.SliceStable (ties keep deterministic insertion order) or give the
+// comparator a total order whose final clause breaks ties by job ID —
+// the easy/speculative shadow computations were exactly this bug before
+// this check existed.
+//
+// A sort.Slice call is accepted when its comparator's final clause is an
+// ID comparison (a binary < or > whose operand mentions an ID field);
+// anything else is reported.
+type StablesortCheck struct{}
+
+// stablesortScopes are the import-path prefixes where scheduling
+// decisions are made and the rule is enforced.
+var stablesortScopes = []string{"pjs/internal/sched", "pjs/internal/sim"}
+
+// Name implements Check.
+func (*StablesortCheck) Name() string { return "stablesort" }
+
+// Doc implements Check.
+func (*StablesortCheck) Doc() string {
+	return "scheduler/engine sorts must be sort.SliceStable or break ties by job ID"
+}
+
+// Applies implements Check.
+func (*StablesortCheck) Applies(pkgPath string) bool {
+	for _, s := range stablesortScopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Check.
+func (*StablesortCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(p, call)
+			if !ok || path != "sort" || name != "Slice" {
+				return true
+			}
+			if len(call.Args) == 2 && comparatorBreaksTiesByID(call.Args[1]) {
+				return true
+			}
+			rep.Reportf(call.Pos(),
+				"sort.Slice is unstable; use sort.SliceStable or end the comparator with a job-ID tie-break")
+			return true
+		})
+	}
+}
+
+// comparatorBreaksTiesByID reports whether the comparator argument is a
+// func literal whose final clause — the expression of its last return
+// statement — is a strict comparison involving an ID field or variable.
+// That shape means equal keys cannot compare equal, so the sort order is
+// total and instability cannot reorder anything.
+func comparatorBreaksTiesByID(arg ast.Expr) bool {
+	lit, ok := arg.(*ast.FuncLit)
+	if !ok || len(lit.Body.List) == 0 {
+		return false
+	}
+	ret, ok := lit.Body.List[len(lit.Body.List)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	bin, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LSS && bin.Op != token.GTR) {
+		return false
+	}
+	return mentionsID(bin.X) || mentionsID(bin.Y)
+}
+
+// mentionsID reports whether the expression references an identifier or
+// field whose name is ID-like ("ID", "id", "JobID", ...).
+func mentionsID(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		case *ast.Ident:
+			name = n.Name
+		default:
+			return true
+		}
+		if name == "ID" || name == "id" || strings.HasSuffix(name, "ID") || strings.HasSuffix(name, "Id") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the detrand check: package-level math/rand
+// functions draw from the process-global source and must be flagged;
+// building and using an explicitly seeded *rand.Rand must not.
+package fixture
+
+import "math/rand"
+
+// Bad consumes the global source.
+func Bad() int {
+	rand.Seed(1)                       // want "rand.Seed uses the process-global source"
+	n := rand.Intn(10)                 // want "rand.Intn uses the process-global source"
+	_ = rand.Float64()                 // want "rand.Float64 uses the process-global source"
+	_ = rand.Perm(4)                   // want "rand.Perm uses the process-global source"
+	rand.Shuffle(1, func(i, j int) {}) // want "rand.Shuffle uses the process-global source"
+	return n
+}
+
+// Good threads an explicitly seeded generator, the way
+// workload.Generate does.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Suppressed demonstrates the directive.
+func Suppressed() float64 {
+	//lint:ignore pjslint/detrand fixture demonstrates a justified suppression
+	return rand.ExpFloat64()
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises directive validation: a suppression that
+// names an unknown check or omits its reason must itself be reported,
+// so a typo cannot silently disable enforcement. Expected diagnostics
+// are asserted by TestDirectiveValidation (want comments cannot share a
+// line with the directive under test).
+package fixture
+
+//lint:ignore pjslint/nosuchcheck the check name is misspelled
+var A = 1
+
+//lint:ignore pjslint/wallclock
+var B = 2
+
+// The next comment merely mentions lint:ignore in prose and must not be
+// parsed as a directive.
+var C = 3

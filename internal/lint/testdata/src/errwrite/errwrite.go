@@ -1,0 +1,60 @@
+// Package fixture exercises the errwrite check: discarded errors from
+// output-writing calls are flagged; in-memory sinks and the standard
+// diagnostic streams are exempt.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Bad discards write errors in every supported statement shape.
+func Bad(f *os.File, w io.Writer) {
+	fmt.Fprintf(f, "jobs=%d\n", 1)          // want "fmt.Fprintf discards its write error"
+	os.WriteFile("out.csv", nil, 0o644)     // want "os.WriteFile discards its write error"
+	_ = os.WriteFile("out.csv", nil, 0o644) // want "os.WriteFile discards its write error"
+	io.WriteString(w, "header\n")           // want "io.WriteString discards its write error"
+	w.Write([]byte("row\n"))                // want `\(writer\).Write discards its write error`
+	bw := bufio.NewWriter(f)
+	defer bw.Flush() // want `\(writer\).Flush discards its write error`
+	bw.Flush()       // want `\(writer\).Flush discards its write error`
+}
+
+// Good consumes every error.
+func Good(f *os.File) error {
+	if _, err := fmt.Fprintf(f, "jobs=%d\n", 1); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.WriteString("row\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// GoodInMemory writes to sinks that cannot fail.
+func GoodInMemory() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "jobs=%d\n", 1)
+	sb.WriteString("row\n")
+	var buf bytes.Buffer
+	buf.Write([]byte("row\n"))
+	return sb.String() + buf.String()
+}
+
+// GoodDiagnostics writes progress to the standard streams, the CLI
+// idiom where a failed write has nowhere to be reported.
+func GoodDiagnostics() {
+	fmt.Fprintln(os.Stderr, "fixture: progress")
+	fmt.Fprintf(os.Stdout, "fixture: %d rows\n", 1)
+}
+
+// Suppressed demonstrates the directive.
+func Suppressed(f *os.File) {
+	//lint:ignore pjslint/errwrite fixture demonstrates a justified suppression
+	fmt.Fprintln(f, "best-effort trailer")
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the maporder check: map iteration whose
+// order leaks into an accumulated slice or the audit log is flagged,
+// unless a deterministic sort follows in the same block.
+package fixture
+
+import "sort"
+
+// AuditLog mirrors the simulator's audit log shape for the emit rule.
+type AuditLog struct {
+	entries []int
+}
+
+func (l *AuditLog) add(e int) { l.entries = append(l.entries, e) }
+
+// BadAccumulate appends map values in iteration order and returns them
+// unsorted: two runs observe different orders.
+func BadAccumulate(m map[int]string) []int {
+	var out []int
+	for k := range m { // want "map iteration order leaks into a slice accumulated across iterations"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadAudit emits audit entries in iteration order.
+func BadAudit(m map[int]int, log *AuditLog) {
+	for _, v := range m { // want "map iteration order leaks into the audit log"
+		log.add(v)
+	}
+}
+
+// GoodSorted accumulates and then sorts before anything can observe the
+// iteration order.
+func GoodSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// GoodLocal appends only to a slice scoped inside the loop body; nothing
+// outlives an iteration.
+func GoodLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// GoodReadOnly ranges for a pure reduction; order cannot matter.
+func GoodReadOnly(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Suppressed demonstrates the directive.
+func Suppressed(m map[int]int) []int {
+	var out []int
+	//lint:ignore pjslint/maporder fixture demonstrates a justified suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

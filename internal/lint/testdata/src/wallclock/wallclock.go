@@ -1,0 +1,37 @@
+// Package fixture exercises the wallclock check: every way of reading
+// or acting on the wall clock inside internal/ must be flagged, pure
+// time arithmetic must not, and a justified directive suppresses one
+// site.
+package fixture
+
+import (
+	"time"
+	wall "time"
+)
+
+// Bad reads the wall clock in simulator scope.
+func Bad() time.Duration {
+	start := time.Now()           // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)  // want "time.Sleep reads the wall clock"
+	d := time.Since(start)        // want "time.Since reads the wall clock"
+	_ = time.Until(start)         // want "time.Until reads the wall clock"
+	_ = wall.Now()                // want "time.Now reads the wall clock"
+	t := time.NewTimer(time.Hour) // want "time.NewTimer reads the wall clock"
+	t.Stop()
+	return d
+}
+
+// Good performs pure time arithmetic: conversions and constructors that
+// never observe the clock.
+func Good() int64 {
+	epoch := time.Unix(0, 0)
+	d := 90 * time.Second
+	return epoch.Add(d).Unix()
+}
+
+// Suppressed demonstrates the directive: the site is allowed with a
+// stated reason.
+func Suppressed() time.Time {
+	//lint:ignore pjslint/wallclock fixture demonstrates a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallclockCheck forbids reading or acting on the machine's wall clock
+// inside the simulator: every timestamp must flow through the virtual
+// clock (sim.Engine.Now, surfaced to policies as sched.Env.Now), or a
+// run stops being a pure function of (trace, seed, policy) and the
+// paper's tables stop being reproducible.
+//
+// Scope and allowlist: the check covers pjs/internal/... only. cmd/ is
+// deliberately out of scope — the CLI front-ends use the wall clock
+// solely for operator-facing progress timing (e.g. the per-experiment
+// elapsed-seconds lines cmd/pexp/main.go prints to stderr), and those
+// readings never feed simulation state, metrics, or anything else that
+// lands in a result. Keeping the allowlist here, as check scope, means
+// cmd/ needs no per-call-site lint:ignore directives and a wall-clock
+// read accidentally introduced under internal/ still fails the build.
+type WallclockCheck struct{}
+
+// wallclockScope is the single import-path prefix the rule enforces.
+const wallclockScope = "pjs/internal/"
+
+// wallclockBanned lists the time-package entry points that observe or
+// depend on the wall clock (or the process timer). Pure constructors and
+// conversions (time.Duration, time.Unix, time.Date) are fine: they do
+// not read the clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Name implements Check.
+func (*WallclockCheck) Name() string { return "wallclock" }
+
+// Doc implements Check.
+func (*WallclockCheck) Doc() string {
+	return "no wall-clock reads (time.Now/Since/Sleep/...) inside internal/; use the virtual clock"
+}
+
+// Applies implements Check.
+func (*WallclockCheck) Applies(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, wallclockScope)
+}
+
+// Run implements Check.
+func (*WallclockCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(p, call)
+			if !ok || path != "time" || !wallclockBanned[name] {
+				return true
+			}
+			rep.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulator code must use the virtual clock (Env.Now)", name)
+			return true
+		})
+	}
+}

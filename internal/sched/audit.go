@@ -1,6 +1,11 @@
 package sched
 
-import "pjs/internal/job"
+import (
+	"fmt"
+	"strings"
+
+	"pjs/internal/job"
+)
 
 // Action is the kind of an audit-log entry.
 type Action int
@@ -64,6 +69,20 @@ type Entry struct {
 type AuditLog struct {
 	Procs   int // machine size
 	Entries []Entry
+}
+
+// String renders the log one action per line in a canonical form. Two
+// runs of a deterministic scheduler over the same trace must render
+// byte-identically — the determinism regression test compares exactly
+// this.
+func (l *AuditLog) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "procs=%d entries=%d\n", l.Procs, len(l.Entries))
+	for _, e := range l.Entries {
+		fmt.Fprintf(&b, "t=%d %s job=%d width=%d run=%d submit=%d set=%v\n",
+			e.Time, e.Action, e.JobID, e.Width, e.RunTime, e.Submit, e.Procs)
+	}
+	return b.String()
 }
 
 func (l *AuditLog) add(now int64, a Action, j *job.Job, procs []int) {

@@ -105,12 +105,21 @@ func (s *Sched) shadow(head *job.Job) (shadowTime int64, extraNodes int) {
 	type rel struct {
 		end   int64
 		procs int
+		id    int
 	}
 	rels := make([]rel, 0, len(s.running))
 	for _, r := range s.running {
-		rels = append(rels, rel{end: projectedEnd(r), procs: r.Procs})
+		rels = append(rels, rel{end: projectedEnd(r), procs: r.Procs, id: r.ID})
 	}
-	sort.Slice(rels, func(i, k int) bool { return rels[i].end < rels[k].end })
+	// Equal projected ends must release in a reproducible order or the
+	// shadow time (and with it every backfill decision) depends on
+	// sort-internal pivot choices; break ties by job ID.
+	sort.SliceStable(rels, func(i, k int) bool {
+		if rels[i].end != rels[k].end {
+			return rels[i].end < rels[k].end
+		}
+		return rels[i].id < rels[k].id
+	})
 	free := s.env.Cluster.FreeUnclaimed()
 	for _, r := range rels {
 		if free >= head.Procs {

@@ -177,6 +177,7 @@ func (s *Sched) shadow(head *job.Job) (shadowTime int64, extraNodes int) {
 	type rel struct {
 		end   int64
 		procs int
+		id    int
 	}
 	rels := make([]rel, 0, len(s.running))
 	for _, r := range s.running {
@@ -186,9 +187,16 @@ func (s *Sched) shadow(head *job.Job) (shadowTime int64, extraNodes int) {
 		if dl, spec := s.deadline[r.ID]; spec && dl < end {
 			end = dl
 		}
-		rels = append(rels, rel{end: end, procs: r.Procs})
+		rels = append(rels, rel{end: end, procs: r.Procs, id: r.ID})
 	}
-	sort.Slice(rels, func(i, k int) bool { return rels[i].end < rels[k].end })
+	// Ties on the projected release time must resolve reproducibly (see
+	// the same fix in easy.shadow); break them by job ID.
+	sort.SliceStable(rels, func(i, k int) bool {
+		if rels[i].end != rels[k].end {
+			return rels[i].end < rels[k].end
+		}
+		return rels[i].id < rels[k].id
+	})
 	free := s.env.Cluster.FreeUnclaimed()
 	for _, r := range rels {
 		if free >= head.Procs {

@@ -206,6 +206,27 @@ func NewScheduler(spec string) (Scheduler, error) {
 	return nil, fmt.Errorf("pjs: unknown scheduler %q (want fcfs|conservative|ns|is|ss:SF|tss:SF|ssmig:SF|gang[:Q])", spec)
 }
 
+// SchedulerSpecs returns one canonical spec string per registered
+// policy — every constructor branch NewScheduler accepts, in stable
+// order. It is the scheduler registry used by the determinism
+// regression suite (every policy is run twice over the same seeded
+// trace and must produce byte-identical audit logs) and by tooling that
+// wants to sweep all policies.
+func SchedulerSpecs() []string {
+	return []string{
+		"fcfs",
+		"conservative",
+		"ns",
+		"is",
+		"ss:2",
+		"tss:2",
+		"ssmig:2",
+		"gang",
+		"spec",
+		"depth:2",
+	}
+}
+
 // NewSS returns a plain Selective Suspension scheduler.
 func NewSS(sf float64) Scheduler { return ss.New(ss.Config{SF: sf}) }
 
