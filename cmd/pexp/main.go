@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pjs"
+	"pjs/internal/obs"
 )
 
 func main() {
@@ -26,8 +27,9 @@ func main() {
 		jobs   = flag.Int("jobs", 8000, "jobs per generated trace")
 		seed   = flag.Int64("seed", 1, "trace generator seed")
 		csvDir = flag.String("csv", "", "also write <id>.csv files to this directory")
-		quiet  = flag.Bool("q", false, "suppress progress timing lines")
-		verify = flag.Bool("verify", false, "replay every simulation through the invariant checker")
+		quiet    = flag.Bool("q", false, "suppress progress timing lines")
+		verify   = flag.Bool("verify", false, "replay every simulation through the invariant checker")
+		counters = flag.Bool("counters", false, "print per-experiment engine counter tables")
 	)
 	flag.Parse()
 
@@ -57,7 +59,14 @@ func main() {
 		}
 	}
 
-	runner := pjs.NewRunner(pjs.ExpConfig{Jobs: *jobs, Seed: *seed, Verify: *verify})
+	cfg := pjs.ExpConfig{Jobs: *jobs, Seed: *seed, Verify: *verify}
+	var reg *obs.Registry
+	if *counters {
+		reg = obs.NewRegistry()
+		cfg.Counters = reg
+	}
+	runner := pjs.NewRunner(cfg)
+	var prevSnap []obs.Counters
 	for _, e := range selected {
 		// Wall-clock here times the experiment for the operator's stderr
 		// progress line only; it never enters simulation state, which is
@@ -69,13 +78,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s] %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
 		}
 		fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out.Render())
+		var delta []obs.Counters
+		if reg != nil {
+			snap := reg.Snapshot()
+			// Memoized runs count toward the experiment that executed
+			// them; a delta can be empty if every run was recalled.
+			delta = obs.DeltaSnapshots(snap, prevSnap)
+			prevSnap = snap
+			if len(delta) > 0 {
+				t := obs.CountersTable(fmt.Sprintf("engine counters (%s, newly executed runs)", e.ID), delta)
+				fmt.Printf("%s\n", t.Render())
+			}
+		}
 		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
 			if csv := out.CSV(); csv != "" {
-				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					fatal(err)
-				}
 				path := filepath.Join(*csvDir, e.ID+".csv")
 				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+			if len(delta) > 0 {
+				t := obs.CountersTable(e.ID+" counters", delta)
+				path := filepath.Join(*csvDir, e.ID+".counters.csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 					fatal(err)
 				}
 			}

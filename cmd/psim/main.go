@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pjs"
@@ -18,6 +19,7 @@ import (
 	"pjs/internal/gantt"
 	"pjs/internal/job"
 	"pjs/internal/metrics"
+	"pjs/internal/obs"
 	"pjs/internal/report"
 	"pjs/internal/workload"
 )
@@ -39,6 +41,9 @@ func main() {
 		filter    = flag.String("filter", "all", "metric subset: all, well or bad")
 		coarse    = flag.Bool("coarse", false, "report the 4-way load-variation categories")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run")
+		tsOut     = flag.String("timeseries-out", "", "write a utilization/queue time series as CSV to this file")
+		counters  = flag.Bool("counters", false, "print engine event counters after the run")
 	)
 	flag.Parse()
 
@@ -69,12 +74,42 @@ func main() {
 	if *oh {
 		opt.Overhead = pjs.DiskOverhead().Overhead
 	}
+	var (
+		traceB  *obs.TraceBuilder
+		sampler *obs.Sampler
+		counts  *obs.Counters
+	)
+	if *traceOut != "" {
+		traceB = obs.NewTraceBuilder(trace.Procs)
+	}
+	if *tsOut != "" {
+		sampler = obs.NewSampler(trace.Procs)
+	}
+	if *counters {
+		counts = obs.NewCounters(s.Name(), trace.Procs)
+	}
+	// Collect non-nil sinks explicitly: a typed-nil *TraceBuilder boxed
+	// into the Observer interface would not be interface-nil.
+	var sinks []pjs.Observer
+	if traceB != nil {
+		sinks = append(sinks, traceB)
+	}
+	if sampler != nil {
+		sinks = append(sinks, sampler)
+	}
+	if counts != nil {
+		sinks = append(sinks, counts)
+	}
+	if len(sinks) > 0 {
+		opt.Observer = obs.NewFanOut(sinks...)
+	}
 	res := pjs.Simulate(trace, s, opt)
 	if *verify {
 		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !*oh}); err != nil {
 			fatal(fmt.Errorf("invariant check failed: %v", err))
 		}
-		fmt.Println("invariants: ok")
+		occ, _ := res.UtilizationIntegral()
+		fmt.Printf("invariants: ok (audit occupancy=%.1f%%)\n", 100*occ)
 	}
 	sum := pjs.Summarize(res, f)
 
@@ -110,6 +145,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "psim: wrote %d job records to %s\n", len(res.Jobs), *dump)
 	}
+	if counts != nil {
+		fmt.Println()
+		fmt.Print(obs.CountersTable("engine counters", []obs.Counters{counts.Snapshot()}).Render())
+		fmt.Println()
+		fmt.Print(counts.CategoryTable().Render())
+	}
+	if sampler != nil {
+		if err := writeTo(*tsOut, sampler.WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "psim: wrote %d time-series samples to %s\n", len(sampler.Samples), *tsOut)
+	}
+	if traceB != nil {
+		if err := writeTo(*traceOut, traceB.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "psim: wrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+// writeTo creates path, runs the writer against it and surfaces every
+// error, including the final Close — a truncated trace must not pass
+// silently.
+func writeTo(path string, write func(w io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }
 
 func loadTrace(file, model string, jobs int, seed int64, estimates string) (*workload.Trace, error) {

@@ -5,6 +5,7 @@
 //
 //	traceinfo -trace log.swf
 //	traceinfo -model SDSC -jobs 20000
+//	traceinfo -tracejson run.json        # summarize a psim -trace-out export
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"pjs"
+	"pjs/internal/obs"
 	"pjs/internal/report"
 	"pjs/internal/workload"
 )
@@ -24,8 +26,23 @@ func main() {
 		model     = flag.String("model", "", "synthetic model: CTC, SDSC or KTH")
 		jobs      = flag.Int("jobs", 10000, "jobs to generate (synthetic only)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		traceJSON = flag.String("tracejson", "", "validate and summarize a Perfetto trace exported by psim -trace-out")
 	)
 	flag.Parse()
+
+	if *traceJSON != "" {
+		data, err := os.ReadFile(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := obs.ValidateTrace(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %s: valid\n", *traceJSON)
+		fmt.Print(stats.Summary())
+		return
+	}
 
 	var trace *workload.Trace
 	switch {

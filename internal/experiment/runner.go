@@ -11,6 +11,7 @@ import (
 	"pjs/internal/check"
 	"pjs/internal/core"
 	"pjs/internal/metrics"
+	"pjs/internal/obs"
 	"pjs/internal/overhead"
 	"pjs/internal/sched"
 	"pjs/internal/sched/conservative"
@@ -37,6 +38,11 @@ type Config struct {
 	// invariant checker, panicking on any violation. Slower; used by
 	// `pexp -verify` and the test suite.
 	Verify bool
+	// Counters, when non-nil, observes every simulation the runner
+	// executes, keyed per scheme label. Because runs are memoized, a
+	// run's counts land on the first experiment that actually executes
+	// it; later experiments recalling the memoized result add nothing.
+	Counters *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +283,9 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 	opt := sched.Options{MaxSteps: r.cfg.MaxSteps, Audit: r.cfg.Verify}
 	if oh {
 		opt.Overhead = overhead.Disk{}
+	}
+	if r.cfg.Counters != nil {
+		opt.Observer = r.cfg.Counters.For(rk.scheme, t.Procs)
 	}
 	res := sched.Run(t, sc.make(r, rk.tk), opt)
 	if r.cfg.Verify {

@@ -8,9 +8,10 @@ import (
 
 // ErrwriteCheck flags discarded error returns from io.Writer-family
 // calls in the packages that persist results: cmd/ (CSV dumps, SWF
-// traces, report files) and internal/report. A swallowed short write
-// turns a full disk or closed pipe into silently truncated experiment
-// output — worse than a crash, because the numbers look plausible.
+// traces, report files), internal/report and internal/obs (time-series
+// CSV and Perfetto trace exports). A swallowed short write turns a full
+// disk or closed pipe into silently truncated experiment output — worse
+// than a crash, because the numbers look plausible.
 //
 // Exemptions, because they cannot fail or failure is unactionable:
 //   - writes to in-memory sinks (*strings.Builder, *bytes.Buffer);
@@ -25,7 +26,7 @@ import (
 type ErrwriteCheck struct{}
 
 // errwriteScopes are the import-path prefixes that persist output.
-var errwriteScopes = []string{"pjs/cmd/", "pjs/internal/report"}
+var errwriteScopes = []string{"pjs/cmd/", "pjs/internal/report", "pjs/internal/obs"}
 
 // errwriteMethods are the writer-family method names whose error result
 // must be consumed.
@@ -42,7 +43,7 @@ func (*ErrwriteCheck) Name() string { return "errwrite" }
 
 // Doc implements Check.
 func (*ErrwriteCheck) Doc() string {
-	return "output-writing calls in cmd/ and internal/report must not discard their error"
+	return "output-writing calls in cmd/, internal/report and internal/obs must not discard their error"
 }
 
 // Applies implements Check.

@@ -70,17 +70,21 @@ func parseWants(t *testing.T, dir string) []want {
 	return wants
 }
 
-// fixtureCases pairs every check with its corpus directory and the
-// synthetic import path that puts the fixture in the check's scope.
+// fixtureCases pairs every check with its corpus directory (under
+// testdata/src) and the synthetic import path that puts the fixture in
+// the check's scope. A check may own several fixtures, one per scoped
+// subsystem it guards (errwrite covers both the report and obs shapes).
 var fixtureCases = []struct {
 	check  string
+	dir    string
 	asPath string
 }{
-	{"wallclock", "pjs/internal/fixture/wallclock"},
-	{"detrand", "pjs/fixture/detrand"},
-	{"stablesort", "pjs/internal/sched/fixture/stablesort"},
-	{"maporder", "pjs/internal/sim/fixture/maporder"},
-	{"errwrite", "pjs/internal/report/fixture"},
+	{"wallclock", "wallclock", "pjs/internal/fixture/wallclock"},
+	{"detrand", "detrand", "pjs/fixture/detrand"},
+	{"stablesort", "stablesort", "pjs/internal/sched/fixture/stablesort"},
+	{"maporder", "maporder", "pjs/internal/sim/fixture/maporder"},
+	{"errwrite", "errwrite", "pjs/internal/report/fixture"},
+	{"errwrite", "errwrite_obs", "pjs/internal/obs/fixture"},
 }
 
 // TestCheckFixtures runs each check over its fixture package and
@@ -91,7 +95,7 @@ var fixtureCases = []struct {
 // shows up as an unexpected diagnostic.
 func TestCheckFixtures(t *testing.T) {
 	for _, tc := range fixtureCases {
-		t.Run(tc.check, func(t *testing.T) {
+		t.Run(tc.dir, func(t *testing.T) {
 			check, ok := CheckByName(tc.check)
 			if !ok {
 				t.Fatalf("no check %q", tc.check)
@@ -99,7 +103,7 @@ func TestCheckFixtures(t *testing.T) {
 			if !check.Applies(tc.asPath) {
 				t.Fatalf("check %s does not apply to its own fixture path %s", tc.check, tc.asPath)
 			}
-			dir := filepath.Join("testdata", "src", tc.check)
+			dir := filepath.Join("testdata", "src", tc.dir)
 			l := newTestLoader(t)
 			p, err := l.LoadDir(dir, tc.asPath)
 			if err != nil {
@@ -139,7 +143,7 @@ func TestCheckFixtures(t *testing.T) {
 func TestFixturesCleanUnderRemainingChecks(t *testing.T) {
 	l := newTestLoader(t)
 	for _, tc := range fixtureCases {
-		p, err := l.LoadDir(filepath.Join("testdata", "src", tc.check), tc.asPath)
+		p, err := l.LoadDir(filepath.Join("testdata", "src", tc.dir), tc.asPath)
 		if err != nil {
 			t.Fatal(err)
 		}

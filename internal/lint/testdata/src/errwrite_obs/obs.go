@@ -1,0 +1,54 @@
+// Package fixture exercises the errwrite check over the observability
+// sink shape (internal/obs): exporters that serialize a recorded run to
+// an io.Writer must propagate every write error — a silently truncated
+// trace or time series plots plausibly and lies.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sample is one recorded time-series row.
+type sample struct {
+	time int64
+	busy int
+}
+
+// sink mimics an obs sampler: in-memory accumulation, then export.
+type sink struct {
+	samples []sample
+}
+
+// BadExport discards errors at both the header and the row writes.
+func (s *sink) BadExport(w io.Writer) {
+	io.WriteString(w, "time,busy\n") // want "io.WriteString discards its write error"
+	for _, smp := range s.samples {
+		fmt.Fprintf(w, "%d,%d\n", smp.time, smp.busy) // want "fmt.Fprintf discards its write error"
+	}
+}
+
+// GoodExport propagates every error, the required shape.
+func (s *sink) GoodExport(w io.Writer) error {
+	if _, err := io.WriteString(w, "time,busy\n"); err != nil {
+		return err
+	}
+	for _, smp := range s.samples {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", smp.time, smp.busy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodRender accumulates into an in-memory builder, which cannot fail
+// and is exempt.
+func (s *sink) GoodRender() string {
+	var b strings.Builder
+	b.WriteString("time,busy\n")
+	for _, smp := range s.samples {
+		fmt.Fprintf(&b, "%d,%d\n", smp.time, smp.busy)
+	}
+	return b.String()
+}

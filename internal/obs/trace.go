@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"pjs/internal/job"
+	"pjs/internal/sched"
+)
+
+// tsScale converts virtual seconds to trace-event timestamps. The
+// Chrome trace-event format counts microseconds, so scaling by 1e6
+// makes Perfetto's ruler read real simulated durations.
+const tsScale = 1_000_000
+
+// Slice phase categories, exposed so the validator and summary tooling
+// share the exporter's vocabulary.
+const (
+	CatRun   = "run"          // computing
+	CatRead  = "restart-read" // restart I/O after a resume
+	CatWrite = "suspend-write" // suspension image write (overhead)
+	CatKill  = "killed"       // a speculative execution that was aborted
+)
+
+// tracePid is the single process all tracks live under; each processor
+// is one thread (track) of it.
+const tracePid = 1
+
+// traceDoc is the JSON object-format envelope Perfetto and
+// chrome://tracing both accept.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []any  `json:"traceEvents"`
+}
+
+// sliceEvent is a complete ("X") duration event on one processor track.
+type sliceEvent struct {
+	Name string    `json:"name"`
+	Cat  string    `json:"cat"`
+	Ph   string    `json:"ph"`
+	Ts   int64     `json:"ts"`
+	Dur  int64     `json:"dur"`
+	Pid  int       `json:"pid"`
+	Tid  int       `json:"tid"`
+	Args sliceArgs `json:"args"`
+}
+
+type sliceArgs struct {
+	Job         int    `json:"job"`
+	Category    string `json:"category"`
+	Width       int    `json:"width"`
+	RunS        int64  `json:"run_s"`
+	SubmitS     int64  `json:"submit_s"`
+	Suspensions int    `json:"suspensions"`
+}
+
+// metaEvent names the process and its processor threads.
+type metaEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Args metaArgs `json:"args"`
+}
+
+type metaArgs struct {
+	Name string `json:"name"`
+}
+
+// counterEvent is a "C" counter sample rendered by Perfetto as a
+// stacked area track.
+type counterEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Args map[string]int `json:"args"`
+}
+
+// openSeg is a job's in-flight occupancy of its processor set: either a
+// compute burst (possibly led by restart-read I/O) or a suspension
+// image write.
+type openSeg struct {
+	start int64
+	read  int64 // restart-read seconds at the head of a compute burst
+	write bool  // true for a suspension image write
+	procs []int
+}
+
+// TraceBuilder exports a run as Chrome trace-event JSON: one thread
+// (track) per processor under a single "cluster" process, job segments
+// as complete slices — compute bursts under CatRun, restart reads under
+// CatRead, suspension writes under CatWrite, aborted speculative bursts
+// under CatKill — plus counter tracks for busy processors and job
+// states. It implements sched.Observer; export with WriteJSON after the
+// run and open the file in ui.perfetto.dev.
+type TraceBuilder struct {
+	// Procs is the machine size (number of tracks).
+	Procs int
+
+	meta     []any
+	slices   []any
+	counters []any
+	open     map[int]*openSeg // job ID -> in-flight segment
+
+	lastCounterTs   int64
+	haveCounter     bool
+	countersPerInst int // trailing counter events of the last instant
+}
+
+// NewTraceBuilder returns a builder for a machine of the given size,
+// with the process and per-processor thread names pre-registered.
+func NewTraceBuilder(procs int) *TraceBuilder {
+	b := &TraceBuilder{Procs: procs, open: make(map[int]*openSeg)}
+	b.meta = append(b.meta, metaEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: metaArgs{Name: "cluster"},
+	})
+	for p := 0; p < procs; p++ {
+		b.meta = append(b.meta, metaEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: p,
+			Args: metaArgs{Name: procName(p)},
+		})
+	}
+	return b
+}
+
+func procName(p int) string {
+	// Zero-padded so lexical track sort matches numeric order.
+	const digits = "0123456789"
+	return "proc " + string([]byte{
+		digits[p/100%10], digits[p/10%10], digits[p%10],
+	})
+}
+
+// Observe implements sched.Observer.
+func (b *TraceBuilder) Observe(ev sched.Event) {
+	b.sampleCounters(ev)
+	j := ev.Job
+	if j == nil {
+		return
+	}
+	switch ev.Action {
+	case sched.ActStart, sched.ActResume:
+		b.open[j.ID] = &openSeg{
+			start: ev.Time,
+			read:  j.PendingRead,
+			procs: append([]int(nil), ev.Procs...),
+		}
+	case sched.ActSuspendBegin:
+		b.closeBurst(j, ev.Time, CatRun)
+		b.open[j.ID] = &openSeg{start: ev.Time, write: true,
+			procs: append([]int(nil), ev.Procs...)}
+	case sched.ActSuspendDone:
+		b.closeWrite(j, ev.Time)
+	case sched.ActFinish:
+		b.closeBurst(j, ev.Time, CatRun)
+	case sched.ActKill:
+		b.closeBurst(j, ev.Time, CatKill)
+	}
+}
+
+// closeBurst closes j's compute burst at time end, splitting off the
+// restart-read head as its own shaded slice.
+func (b *TraceBuilder) closeBurst(j *job.Job, end int64, cat string) {
+	seg := b.open[j.ID]
+	if seg == nil || seg.write {
+		return
+	}
+	delete(b.open, j.ID)
+	read := seg.read
+	if read > end-seg.start {
+		read = end - seg.start // burst preempted mid-read
+	}
+	if read > 0 {
+		b.emitSlices(j, seg.procs, seg.start, read, CatRead)
+	}
+	b.emitSlices(j, seg.procs, seg.start+read, end-(seg.start+read), cat)
+}
+
+// closeWrite closes j's suspension image write at time end.
+func (b *TraceBuilder) closeWrite(j *job.Job, end int64) {
+	seg := b.open[j.ID]
+	if seg == nil || !seg.write {
+		return
+	}
+	delete(b.open, j.ID)
+	b.emitSlices(j, seg.procs, seg.start, end-seg.start, CatWrite)
+}
+
+// emitSlices emits one complete slice per processor of the set.
+func (b *TraceBuilder) emitSlices(j *job.Job, procs []int, start, dur int64, cat string) {
+	args := sliceArgs{
+		Job:         j.ID,
+		Category:    j.Category().String(),
+		Width:       j.Procs,
+		RunS:        j.RunTime,
+		SubmitS:     j.SubmitTime,
+		Suspensions: j.Suspensions,
+	}
+	name := sliceName(j.ID, cat)
+	for _, p := range procs {
+		b.slices = append(b.slices, sliceEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: start * tsScale, Dur: dur * tsScale,
+			Pid: tracePid, Tid: p, Args: args,
+		})
+	}
+}
+
+func sliceName(id int, cat string) string {
+	base := "job " + itoa(id)
+	switch cat {
+	case CatRead:
+		return base + " (restart read)"
+	case CatWrite:
+		return base + " (suspend write)"
+	case CatKill:
+		return base + " (killed)"
+	}
+	return base
+}
+
+// itoa is strconv.Itoa without the import weight elsewhere in the hot
+// build path — ids are small non-negative integers.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// sampleCounters appends (or, within one virtual instant, replaces) the
+// counter samples so each instant keeps only its settled state.
+func (b *TraceBuilder) sampleCounters(ev sched.Event) {
+	if b.haveCounter && ev.Time == b.lastCounterTs {
+		b.counters = b.counters[:len(b.counters)-b.countersPerInst]
+	}
+	ts := ev.Time * tsScale
+	b.counters = append(b.counters,
+		counterEvent{Name: "busy procs", Ph: "C", Ts: ts, Pid: tracePid,
+			Args: map[string]int{"busy": ev.Busy}},
+		counterEvent{Name: "jobs", Ph: "C", Ts: ts, Pid: tracePid,
+			Args: map[string]int{
+				"queued":    ev.Queued,
+				"running":   ev.Running,
+				"suspended": ev.Suspended,
+			}},
+	)
+	b.lastCounterTs, b.haveCounter, b.countersPerInst = ev.Time, true, 2
+}
+
+// WriteJSON writes the trace in the JSON object format. Output is
+// deterministic: slices in closure order (a pure function of the event
+// stream), counters in instant order, and encoding/json's sorted map
+// keys. Write errors are propagated.
+func (b *TraceBuilder) WriteJSON(w io.Writer) error {
+	all := make([]any, 0, len(b.meta)+len(b.slices)+len(b.counters))
+	all = append(all, b.meta...)
+	all = append(all, b.slices...)
+	all = append(all, b.counters...)
+	return json.NewEncoder(w).Encode(traceDoc{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     all,
+	})
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	Events   int // total trace events
+	Slices   int // complete ("X") duration events
+	Counters int // counter ("C") samples
+	Metadata int // metadata ("M") events
+	Tracks   int // distinct (pid, tid) pairs carrying slices
+	Jobs     int // distinct job ids seen in slice args
+	// SpanSeconds is the virtual span covered by slices, first slice
+	// start to last slice end, in simulated seconds.
+	SpanSeconds float64
+	// SlicesPerCat counts slices by their cat field.
+	SlicesPerCat map[string]int
+}
+
+// Summary renders the stats deterministically, one fact per line.
+func (s *TraceStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events:       %d\n", s.Events)
+	fmt.Fprintf(&b, "slices:       %d\n", s.Slices)
+	fmt.Fprintf(&b, "counters:     %d\n", s.Counters)
+	fmt.Fprintf(&b, "metadata:     %d\n", s.Metadata)
+	fmt.Fprintf(&b, "tracks:       %d\n", s.Tracks)
+	fmt.Fprintf(&b, "jobs:         %d\n", s.Jobs)
+	fmt.Fprintf(&b, "span:         %.0f s\n", s.SpanSeconds)
+	cats := make([]string, 0, len(s.SlicesPerCat))
+	for c := range s.SlicesPerCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  cat %-14s %d\n", c+":", s.SlicesPerCat[c])
+	}
+	return b.String()
+}
+
+// rawEvent is the decoding shape for one trace event. Pointer fields
+// distinguish "absent" from zero so the checks below can demand
+// presence.
+type rawEvent struct {
+	Name *string         `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   *string         `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// ValidateTrace strictly checks data against the subset of the Chrome
+// trace-event JSON object format the TraceBuilder emits — every event
+// named and phased; "X" slices with non-negative ts/dur and pid/tid;
+// "C" counters with ts and args; "M" metadata with args; any other
+// phase rejected — and returns summary statistics. It exists so CI can
+// prove an exported trace well-formed without any external tooling.
+func ValidateTrace(data []byte) (*TraceStats, error) {
+	var doc struct {
+		TraceEvents *[]rawEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: missing traceEvents array")
+	}
+
+	stats := &TraceStats{SlicesPerCat: map[string]int{}}
+	tracks := map[[2]int]bool{}
+	jobs := map[int]bool{}
+	var minTs, maxEnd float64
+	haveSpan := false
+
+	for i, ev := range *doc.TraceEvents {
+		stats.Events++
+		if ev.Name == nil || *ev.Name == "" {
+			return nil, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if ev.Ph == nil || *ev.Ph == "" {
+			return nil, fmt.Errorf("trace: event %d (%q): missing ph", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "X":
+			stats.Slices++
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return nil, fmt.Errorf("trace: slice %d (%q): missing or negative ts", i, *ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return nil, fmt.Errorf("trace: slice %d (%q): missing or negative dur", i, *ev.Name)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				return nil, fmt.Errorf("trace: slice %d (%q): missing pid/tid", i, *ev.Name)
+			}
+			stats.SlicesPerCat[ev.Cat]++
+			tracks[[2]int{*ev.Pid, *ev.Tid}] = true
+			var args struct {
+				Job *int `json:"job"`
+			}
+			if len(ev.Args) > 0 {
+				if err := json.Unmarshal(ev.Args, &args); err != nil {
+					return nil, fmt.Errorf("trace: slice %d (%q): bad args: %w", i, *ev.Name, err)
+				}
+			}
+			if args.Job != nil {
+				jobs[*args.Job] = true
+			}
+			end := *ev.Ts + *ev.Dur
+			if !haveSpan || *ev.Ts < minTs {
+				minTs = *ev.Ts
+			}
+			if !haveSpan || end > maxEnd {
+				maxEnd = end
+			}
+			haveSpan = true
+		case "C":
+			stats.Counters++
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return nil, fmt.Errorf("trace: counter %d (%q): missing or negative ts", i, *ev.Name)
+			}
+			if len(ev.Args) == 0 || string(ev.Args) == "null" {
+				return nil, fmt.Errorf("trace: counter %d (%q): missing args", i, *ev.Name)
+			}
+		case "M":
+			stats.Metadata++
+			if len(ev.Args) == 0 || string(ev.Args) == "null" {
+				return nil, fmt.Errorf("trace: metadata %d (%q): missing args", i, *ev.Name)
+			}
+		default:
+			return nil, fmt.Errorf("trace: event %d (%q): unsupported phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+
+	stats.Tracks = len(tracks)
+	stats.Jobs = len(jobs)
+	if haveSpan {
+		stats.SpanSeconds = (maxEnd - minTs) / tsScale
+	}
+	return stats, nil
+}

@@ -28,6 +28,10 @@ const (
 	// ActKill records a speculative-execution abort: the job's
 	// processors are released and all its work is discarded.
 	ActKill
+	// ActTick is the periodic scheduler-tick heartbeat. It is emitted
+	// to observers only (Event.Job is nil) and never appears in the
+	// audit log, which records job actions exclusively.
+	ActTick
 )
 
 // String names the action.
@@ -47,6 +51,8 @@ func (a Action) String() string {
 		return "finish"
 	case ActKill:
 		return "kill"
+	case ActTick:
+		return "tick"
 	}
 	return "unknown"
 }

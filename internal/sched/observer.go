@@ -1,0 +1,88 @@
+package sched
+
+import "pjs/internal/job"
+
+// Event is one engine-level observation, published to the Observer hook
+// at exactly the points where the audit log records actions (plus
+// ActTick heartbeats, which the audit log omits). The snapshot fields
+// describe the machine state *after* the action took effect, so a sink
+// that records the last event of each virtual instant sees the settled
+// end-of-instant state.
+//
+// Events are passed by value and never retained by the engine; the
+// Procs slice aliases the job's live processor set, so a sink that
+// keeps it beyond the Observe call must copy it.
+type Event struct {
+	// Time is the virtual time of the action.
+	Time int64
+	// Action is the audit-log action kind (ActArrive … ActKill), or
+	// ActTick for the periodic scheduler tick.
+	Action Action
+	// Job is the subject of the action; nil for ActTick.
+	Job *job.Job
+	// Procs is the job's processor set at the action (shared, do not
+	// retain); nil for arrivals and ticks.
+	Procs []int
+	// Busy is the number of processors owned by jobs after the action
+	// (Suspending jobs still hold theirs).
+	Busy int
+	// Queued counts jobs that have arrived and hold no processors and
+	// no suspended image (state Queued).
+	Queued int
+	// Running counts jobs in state Running.
+	Running int
+	// Suspended counts preempted jobs: state Suspending (image still
+	// being written) plus state Suspended.
+	Suspended int
+	// MaxQueuedXFactor is the largest expansion factor (Eq. 2) over the
+	// queued jobs at Time, or 0 when the queue is empty — the pressure
+	// signal the SS/TSS preemption routine acts on.
+	MaxQueuedXFactor float64
+}
+
+// Observer receives engine events. Set one via Options.Observer; nil
+// (the default) costs nothing — every emission site is guarded by a
+// nil check and the nil path performs no allocations (asserted by
+// TestNilObserverEmitZeroAllocs and BenchmarkRunObserverNil).
+//
+// Determinism contract: an Observer must be a pure sink in virtual
+// time. It must not mutate jobs or scheduler state, read the wall
+// clock, or influence the run in any way; two identical runs must then
+// drive an identical event stream (the instrumented double-run
+// regression in determinism_test.go asserts byte-identical sink
+// output). Package obs provides the standard sinks — counters, a
+// time-series sampler and a Perfetto trace exporter — plus a fan-out
+// to compose them.
+type Observer interface {
+	Observe(ev Event)
+}
+
+// emit publishes one event to the observer. The nil guard is first so
+// that an unobserved run pays only a predicted branch; the snapshot
+// scan (O(jobs) for the max queued xfactor) runs only when a sink is
+// attached.
+func (e *Env) emit(act Action, j *job.Job, procs []int) {
+	if e.obs == nil {
+		return
+	}
+	now := e.engine.Now()
+	maxXF := 0.0
+	for _, q := range e.jobs {
+		if q.State == job.Queued && q.SubmitTime <= now {
+			if xf := q.XFactor(now); xf > maxXF {
+				maxXF = xf
+			}
+		}
+	}
+	e.obs.Observe(Event{
+		Time:             now,
+		Action:           act,
+		Job:              j,
+		Procs:            procs,
+		Busy:             e.Cluster.Busy(),
+		Queued:           e.nQueued,
+		Running:          e.nRunning,
+		Suspended:        e.nSuspended,
+		MaxQueuedXFactor: maxXF,
+	})
+}

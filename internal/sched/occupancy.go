@@ -1,0 +1,30 @@
+package sched
+
+// UtilizationIntegral returns the run's occupancy — node-seconds busy
+// over node-seconds available on [Start, End] — replayed from the audit
+// log, and reports whether it could be computed (it needs Options.Audit
+// to have been set). A job's processors count busy from each
+// start/resume until the matching finish, suspend-done or kill, so time
+// spent writing a suspension image (state Suspending) is busy, exactly
+// as in the live cluster integral behind Result.Utilization; the two
+// must agree, which TestUtilizationIntegralMatchesClusterIntegral pins.
+//
+// Unlike Utilization, this derivation works on a log alone — reporting
+// tools that only hold an AuditLog (gantt renders, trace summaries) can
+// share it instead of re-deriving occupancy ad hoc.
+func (r *Result) UtilizationIntegral() (float64, bool) {
+	if r.Audit == nil || r.End <= r.Start || r.Audit.Procs <= 0 {
+		return 0, false
+	}
+	var busy int64
+	acquired := make(map[int]int64, 64) // job ID -> last acquire time
+	for _, e := range r.Audit.Entries {
+		switch e.Action {
+		case ActStart, ActResume:
+			acquired[e.JobID] = e.Time
+		case ActSuspendDone, ActFinish, ActKill:
+			busy += (e.Time - acquired[e.JobID]) * int64(len(e.Procs))
+		}
+	}
+	return float64(busy) / float64(int64(r.Audit.Procs)*(r.End-r.Start)), true
+}

@@ -56,6 +56,11 @@ type Options struct {
 	// placement (cluster.BestFitContiguous) — an ablation of placement
 	// locality under local restart.
 	ContiguousAlloc bool
+	// Observer receives engine events (package obs provides counter,
+	// time-series and trace sinks plus a fan-out). nil disables
+	// observation at zero cost: every emission site is nil-guarded and
+	// allocates nothing.
+	Observer Observer
 }
 
 // Result is the outcome of one simulation run.
@@ -105,6 +110,7 @@ func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
 		Overhead: oh,
 		sched:    s,
 		byID:     make(map[int]*job.Job),
+		obs:      opt.Observer,
 	}
 	if opt.ContiguousAlloc {
 		env.Cluster.SetAllocPolicy(cluster.BestFitContiguous)
@@ -117,6 +123,7 @@ func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
 		env.engine.SetMaxSteps(opt.MaxSteps)
 	}
 	jobs := t.CloneJobs()
+	env.jobs = jobs
 	for _, j := range jobs {
 		env.engine.AddJob(j)
 		env.byID[j.ID] = j
@@ -158,7 +165,14 @@ type Env struct {
 	engine  *sim.Engine
 	sched   Scheduler
 	byID    map[int]*job.Job
+	jobs    []*job.Job // all jobs of the run, submission order
 	pending []*pendingStart
+	obs     Observer
+
+	// Job-state census for observer snapshots, maintained on every
+	// transition (a handful of integer ops — cheap enough to keep
+	// unconditionally). nSuspended counts Suspending and Suspended.
+	nQueued, nRunning, nSuspended int
 
 	// Snapshot of the busy-time integral at the most recent arrival,
 	// for the loaded-period utilization metric.
@@ -240,14 +254,24 @@ func (e *Env) ResumeAnywhere(j *job.Job) bool {
 
 // dispatch records the (re)start, schedules completion and audits.
 func (e *Env) dispatch(j *job.Job, readOH int64) {
+	wasSuspended := j.State == job.Suspended
 	done := j.Dispatch(e.Now(), readOH)
 	e.engine.ScheduleCompletion(j, done)
+	if wasSuspended {
+		e.nSuspended--
+	} else {
+		e.nQueued--
+	}
+	e.nRunning++
+	act := ActStart
+	if j.Suspensions > 0 {
+		act = ActResume
+	}
 	if e.Audit != nil {
-		act := ActStart
-		if j.Suspensions > 0 {
-			act = ActResume
-		}
 		e.Audit.add(e.Now(), act, j, j.ProcSet)
+	}
+	if e.obs != nil {
+		e.emit(act, j, j.ProcSet)
 	}
 }
 
@@ -282,8 +306,13 @@ func (e *Env) Kill(j *job.Job) {
 	set := j.ProcSet
 	j.Kill(e.Now())
 	e.Cluster.Release(e.Now(), j.ID, set)
+	e.nRunning--
+	e.nQueued++
 	if e.Audit != nil {
 		e.Audit.add(e.Now(), ActKill, j, set)
+	}
+	if e.obs != nil {
+		e.emit(ActKill, j, set)
 	}
 	e.activatePending()
 }
@@ -301,8 +330,13 @@ func (e *Env) beginSuspend(v *job.Job) {
 		panic(fmt.Sprintf("sched: suspend of %v", v))
 	}
 	v.Preempt(e.Now())
+	e.nRunning--
+	e.nSuspended++
 	if e.Audit != nil {
 		e.Audit.add(e.Now(), ActSuspendBegin, v, v.ProcSet)
+	}
+	if e.obs != nil {
+		e.emit(ActSuspendBegin, v, v.ProcSet)
 	}
 	e.engine.ScheduleSuspendDone(v, e.Now()+e.Overhead.WriteTime(v))
 }
@@ -331,8 +365,12 @@ func (e *Env) activatePending() {
 func (e *Env) HandleArrival(j *job.Job) {
 	e.lastArrival = e.Now()
 	e.busyAtLastArrival = e.Cluster.BusyIntegral(e.Now())
+	e.nQueued++
 	if e.Audit != nil {
 		e.Audit.add(e.Now(), ActArrive, j, nil)
+	}
+	if e.obs != nil {
+		e.emit(ActArrive, j, nil)
 	}
 	e.sched.OnArrival(j)
 }
@@ -342,8 +380,12 @@ func (e *Env) HandleArrival(j *job.Job) {
 func (e *Env) HandleCompletion(j *job.Job) {
 	j.Complete(e.Now())
 	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
+	e.nRunning--
 	if e.Audit != nil {
 		e.Audit.add(e.Now(), ActFinish, j, j.ProcSet)
+	}
+	if e.obs != nil {
+		e.emit(ActFinish, j, j.ProcSet)
 	}
 	e.engine.JobFinished()
 	e.activatePending()
@@ -357,12 +399,22 @@ func (e *Env) HandleSuspendDone(j *job.Job) {
 	if e.Audit != nil {
 		e.Audit.add(e.Now(), ActSuspendDone, j, j.ProcSet)
 	}
+	if e.obs != nil {
+		e.emit(ActSuspendDone, j, j.ProcSet)
+	}
 	e.activatePending()
 	e.sched.OnSuspendDone(j)
 }
 
-// HandleTick implements sim.Handler.
-func (e *Env) HandleTick() { e.sched.OnTick() }
+// HandleTick implements sim.Handler. The tick heartbeat is emitted
+// before the policy reacts, so time-series sinks sample the state the
+// preemption routine is about to act on.
+func (e *Env) HandleTick() {
+	if e.obs != nil {
+		e.emit(ActTick, nil, nil)
+	}
+	e.sched.OnTick()
+}
 
 // SortByXFactor sorts jobs by descending xfactor at time now, breaking
 // ties by earlier submission then lower ID for determinism.

@@ -114,6 +114,9 @@ type (
 	Options = sched.Options
 	// Result is a completed simulation.
 	Result = sched.Result
+	// Observer receives every engine event (see internal/obs for
+	// ready-made sinks: counters, time-series sampler, trace exporter).
+	Observer = sched.Observer
 	// Summary is the per-category metric set.
 	Summary = metrics.Summary
 	// Filter selects the estimate-quality subset.
