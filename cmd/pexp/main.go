@@ -11,37 +11,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"pjs"
+	"pjs/internal/cli"
 	"pjs/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: both streams are latched so a lost
+// stdout write surfaces as a non-zero exit code (INV-errwrite).
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout, stderr := cli.Wrap(stdoutW), cli.Wrap(stderrW)
+	return cli.Exit("pexp", pexp(args, stdout, stderr), stdout, stderr)
+}
+
+// pexp parses args and renders the selected experiments. User-input
+// errors (unknown experiment ids, unwritable CSV directories) come back
+// as a friendly stderr message and a non-zero exit code, never a panic.
+func pexp(args []string, stdout, stderr *cli.W) int {
+	fs := flag.NewFlagSet("pexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		jobs   = flag.Int("jobs", 8000, "jobs per generated trace")
-		seed   = flag.Int64("seed", 1, "trace generator seed")
-		csvDir = flag.String("csv", "", "also write <id>.csv files to this directory")
-		quiet    = flag.Bool("q", false, "suppress progress timing lines")
-		verify   = flag.Bool("verify", false, "replay every simulation through the invariant checker")
-		counters = flag.Bool("counters", false, "print per-experiment engine counter tables")
+		exp      = fs.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		jobs     = fs.Int("jobs", 8000, "jobs per generated trace")
+		seed     = fs.Int64("seed", 1, "trace generator seed")
+		csvDir   = fs.String("csv", "", "also write <id>.csv files to this directory")
+		quiet    = fs.Bool("q", false, "suppress progress timing lines")
+		verify   = fs.Bool("verify", false, "replay every simulation through the invariant checker")
+		counters = fs.Bool("counters", false, "print per-experiment engine counter tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		stderr.Println("pexp:", err)
+		return 1
+	}
 
 	if *list {
 		for _, e := range pjs.Experiments() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			stdout.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "pexp: -exp required (or -list); e.g. -exp fig7 or -exp all")
-		os.Exit(2)
+		return fail(fmt.Errorf("-exp required (or -list); e.g. -exp fig7 or -exp all"))
 	}
 
 	var selected []pjs.Experiment
@@ -52,8 +75,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := pjs.ExperimentByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "pexp: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return fail(fmt.Errorf("unknown experiment %q (try -list)", id))
 			}
 			selected = append(selected, e)
 		}
@@ -75,9 +97,9 @@ func main() {
 		start := time.Now()
 		out := e.Run(runner)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s] %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+			stderr.Printf("[%s] %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
 		}
-		fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out.Render())
+		stdout.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out.Render())
 		var delta []obs.Counters
 		if reg != nil {
 			snap := reg.Snapshot()
@@ -87,31 +109,27 @@ func main() {
 			prevSnap = snap
 			if len(delta) > 0 {
 				t := obs.CountersTable(fmt.Sprintf("engine counters (%s, newly executed runs)", e.ID), delta)
-				fmt.Printf("%s\n", t.Render())
+				stdout.Printf("%s\n", t.Render())
 			}
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			if csv := out.CSV(); csv != "" {
 				path := filepath.Join(*csvDir, e.ID+".csv")
 				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-					fatal(err)
+					return fail(err)
 				}
 			}
 			if len(delta) > 0 {
 				t := obs.CountersTable(e.ID+" counters", delta)
 				path := filepath.Join(*csvDir, e.ID+".counters.csv")
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fatal(err)
+					return fail(err)
 				}
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pexp:", err)
-	os.Exit(1)
+	return 0
 }

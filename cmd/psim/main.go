@@ -6,6 +6,7 @@
 //	psim -model SDSC -jobs 5000 -sched tss:2
 //	psim -trace log.swf -sched ns -filter well
 //	psim -model CTC -sched ss:1.5 -estimates inaccurate -load 1.3 -overhead -verify
+//	psim -sched ns -mtbf 500 -mttr 2 -fault-seed 7   # processor fault injection
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"pjs"
 	"pjs/internal/check"
+	"pjs/internal/cli"
 	"pjs/internal/gantt"
 	"pjs/internal/job"
 	"pjs/internal/metrics"
@@ -25,38 +27,65 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: both streams are latched so a lost
+// stdout write surfaces as a non-zero exit code (INV-errwrite).
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout, stderr := cli.Wrap(stdoutW), cli.Wrap(stderrW)
+	return cli.Exit("psim", psim(args, stdout, stderr), stdout, stderr)
+}
+
+// psim parses args, executes one simulation, writes reports to stdout
+// and diagnostics to stderr, and returns the process exit code.
+// User-input errors (bad flags, bad traces, unknown schedulers,
+// unfinishable fault configurations) come back as a friendly message
+// and a non-zero code, never a panic.
+func psim(args []string, stdout, stderr *cli.W) int {
+	fs := flag.NewFlagSet("psim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		model     = flag.String("model", "SDSC", "synthetic workload model: CTC, SDSC or KTH")
-		traceFile = flag.String("trace", "", "SWF trace file (overrides -model)")
-		jobs      = flag.Int("jobs", 5000, "jobs to generate (synthetic only)")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		schedSpec = flag.String("sched", "tss:2", "scheduler: fcfs|conservative|ns|is|ss:SF|tss:SF")
-		estimates = flag.String("estimates", "accurate", "user estimates: accurate or inaccurate")
-		loadF     = flag.Float64("load", 1.0, "load factor (arrival times divided by this)")
-		oh        = flag.Bool("overhead", false, "model suspension/restart overhead (Section V-A)")
-		verify    = flag.Bool("verify", false, "audit the run and check machine invariants")
-		ganttW    = flag.Int("gantt", 0, "draw an ASCII Gantt chart this many columns wide")
-		dump      = flag.String("dump", "", "write per-job results as CSV to this file")
-		contig    = flag.Bool("contiguous", false, "best-fit contiguous processor placement")
-		filter    = flag.String("filter", "all", "metric subset: all, well or bad")
-		coarse    = flag.Bool("coarse", false, "report the 4-way load-variation categories")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run")
-		tsOut     = flag.String("timeseries-out", "", "write a utilization/queue time series as CSV to this file")
-		counters  = flag.Bool("counters", false, "print engine event counters after the run")
+		model     = fs.String("model", "SDSC", "synthetic workload model: CTC, SDSC or KTH")
+		traceFile = fs.String("trace", "", "SWF trace file (overrides -model)")
+		jobs      = fs.Int("jobs", 5000, "jobs to generate (synthetic only)")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		schedSpec = fs.String("sched", "tss:2", "scheduler: fcfs|conservative|ns|is|ss:SF|tss:SF")
+		estimates = fs.String("estimates", "accurate", "user estimates: accurate or inaccurate")
+		loadF     = fs.Float64("load", 1.0, "load factor (arrival times divided by this)")
+		oh        = fs.Bool("overhead", false, "model suspension/restart overhead (Section V-A)")
+		verify    = fs.Bool("verify", false, "audit the run and check machine invariants")
+		ganttW    = fs.Int("gantt", 0, "draw an ASCII Gantt chart this many columns wide")
+		dump      = fs.String("dump", "", "write per-job results as CSV to this file")
+		contig    = fs.Bool("contiguous", false, "best-fit contiguous processor placement")
+		filter    = fs.String("filter", "all", "metric subset: all, well or bad")
+		coarse    = fs.Bool("coarse", false, "report the 4-way load-variation categories")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		traceOut  = fs.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run")
+		tsOut     = fs.String("timeseries-out", "", "write a utilization/queue time series as CSV to this file")
+		counters  = fs.Bool("counters", false, "print engine event counters after the run")
+		mtbf      = fs.Float64("mtbf", 0, "per-processor mean time between failures in hours (0 disables fault injection)")
+		mttr      = fs.Float64("mttr", 0, "mean time to repair in hours (with -mtbf; 0 means failures are permanent)")
+		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed (with -mtbf)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		stderr.Println("psim:", err)
+		return 1
+	}
 
 	trace, err := loadTrace(*traceFile, *model, *jobs, *seed, *estimates)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *loadF != 1.0 {
 		trace = trace.ScaleLoad(*loadF)
 	}
 	s, err := pjs.NewScheduler(*schedSpec)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var f metrics.Filter
 	switch *filter {
@@ -67,12 +96,22 @@ func main() {
 	case "bad", "badly":
 		f = metrics.BadlyEstimated
 	default:
-		fatal(fmt.Errorf("unknown -filter %q", *filter))
+		return fail(fmt.Errorf("unknown -filter %q", *filter))
+	}
+	if *mtbf < 0 || *mttr < 0 {
+		return fail(fmt.Errorf("-mtbf and -mttr must be ≥ 0 hours, got %g/%g", *mtbf, *mttr))
 	}
 
 	opt := pjs.Options{Audit: *verify || *ganttW > 0, ContiguousAlloc: *contig}
 	if *oh {
 		opt.Overhead = pjs.DiskOverhead().Overhead
+	}
+	if *mtbf > 0 {
+		opt.Faults = pjs.FaultConfig{
+			MTBF: int64(*mtbf * 3600),
+			MTTR: int64(*mttr * 3600),
+			Seed: *faultSeed,
+		}
 	}
 	var (
 		traceB  *obs.TraceBuilder
@@ -103,66 +142,78 @@ func main() {
 	if len(sinks) > 0 {
 		opt.Observer = obs.NewFanOut(sinks...)
 	}
-	res := pjs.Simulate(trace, s, opt)
+	res, err := pjs.SimulateChecked(trace, s, opt)
+	if err != nil {
+		return fail(err)
+	}
 	if *verify {
 		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !*oh}); err != nil {
-			fatal(fmt.Errorf("invariant check failed: %v", err))
+			return fail(fmt.Errorf("invariant check failed: %v", err))
 		}
 		occ, _ := res.UtilizationIntegral()
-		fmt.Printf("invariants: ok (audit occupancy=%.1f%%)\n", 100*occ)
+		stdout.Printf("invariants: ok (audit occupancy=%.1f%%)\n", 100*occ)
 	}
 	sum := pjs.Summarize(res, f)
 
-	fmt.Printf("trace=%s machine=%d procs jobs=%d scheduler=%s estimates=%s load=%.2g\n",
+	stdout.Printf("trace=%s machine=%d procs jobs=%d scheduler=%s estimates=%s load=%.2g\n",
 		trace.Name, trace.Procs, len(trace.Jobs), s.Name(), *estimates, *loadF)
-	fmt.Printf("makespan=%ds utilization=%.1f%% suspensions=%d\n",
+	stdout.Printf("makespan=%ds utilization=%.1f%% suspensions=%d\n",
 		res.Makespan(), 100*res.Utilization, res.Suspensions)
-	fmt.Printf("overall: mean slowdown=%.2f worst slowdown=%.1f mean turnaround=%.0fs (filter=%s, %d jobs)\n\n",
+	if *mtbf > 0 {
+		resubmits := 0
+		for _, j := range res.Jobs {
+			resubmits += j.Resubmits
+		}
+		stdout.Printf("faults: failures=%d repairs=%d fail-kills=%d images-lost=%d resubmissions=%d lost-work=%ds\n",
+			res.Failures, res.Repairs, res.FailKills, res.ImagesLost, resubmits, res.LostWorkSeconds)
+	}
+	stdout.Printf("overall: mean slowdown=%.2f worst slowdown=%.1f mean turnaround=%.0fs (filter=%s, %d jobs)\n\n",
 		sum.Overall.MeanSlowdown, sum.Overall.WorstSlowdown, sum.Overall.MeanTurnaround,
 		f, sum.Overall.Count)
 
 	t := summaryTable(sum, *coarse)
 	if *csv {
-		fmt.Print(t.CSV())
+		stdout.Print(t.CSV())
 	} else {
-		fmt.Print(t.Render())
+		stdout.Print(t.Render())
 	}
 	if *ganttW > 0 {
-		fmt.Println()
-		fmt.Print(gantt.Render(res.Audit, gantt.Options{Width: *ganttW}))
+		stdout.Println()
+		stdout.Print(gantt.Render(res.Audit, gantt.Options{Width: *ganttW}))
 	}
 	if *dump != "" {
 		fh, err := os.Create(*dump)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := metrics.WriteJobsCSV(fh, res.Jobs); err != nil {
 			fh.Close()
-			fatal(err)
+			return fail(err)
 		}
 		if err := fh.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "psim: wrote %d job records to %s\n", len(res.Jobs), *dump)
+		stderr.Printf("psim: wrote %d job records to %s\n", len(res.Jobs), *dump)
 	}
 	if counts != nil {
-		fmt.Println()
-		fmt.Print(obs.CountersTable("engine counters", []obs.Counters{counts.Snapshot()}).Render())
-		fmt.Println()
-		fmt.Print(counts.CategoryTable().Render())
+		stdout.Println()
+		stdout.Print(obs.CountersTable("engine counters", []obs.Counters{counts.Snapshot()}).Render())
+		stdout.Println()
+		stdout.Print(counts.CategoryTable().Render())
 	}
 	if sampler != nil {
 		if err := writeTo(*tsOut, sampler.WriteCSV); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "psim: wrote %d time-series samples to %s\n", len(sampler.Samples), *tsOut)
+		stderr.Printf("psim: wrote %d time-series samples to %s\n", len(sampler.Samples), *tsOut)
 	}
 	if traceB != nil {
 		if err := writeTo(*traceOut, traceB.WriteJSON); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "psim: wrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+		stderr.Printf("psim: wrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
+	return 0
 }
 
 // writeTo creates path, runs the writer against it and surfaces every
@@ -243,9 +294,4 @@ func summaryTable(sum *metrics.Summary, coarse bool) *report.Table {
 		fill(t, i, sum.Cat(c))
 	}
 	return t
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "psim:", err)
-	os.Exit(1)
 }

@@ -52,6 +52,79 @@ func TestLoadTraceFromSWFFile(t *testing.T) {
 	}
 }
 
+// TestRunErrorPaths drives every user-input failure through run() and
+// asserts a non-zero exit code plus a friendly stderr message — the CLI
+// must never panic on bad input, including fault configurations that
+// leave the workload permanently unfinishable.
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stderr
+	}{
+		{"undefined flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"malformed flag value", []string{"-jobs", "many"}, 2, "invalid value"},
+		{"unknown model", []string{"-model", "LANL"}, 1, `unknown model "LANL"`},
+		{"unknown scheduler", []string{"-sched", "lottery"}, 1, "unknown scheduler"},
+		{"bad suspension factor", []string{"-sched", "ss:0.5"}, 1, "must be ≥ 1"},
+		{"unknown filter", []string{"-filter", "great"}, 1, `unknown -filter "great"`},
+		{"unknown estimates", []string{"-estimates", "psychic"}, 1, `unknown -estimates "psychic"`},
+		{"negative mtbf", []string{"-mtbf", "-1"}, 1, "-mtbf and -mttr must be"},
+		{"negative mttr", []string{"-mtbf", "1", "-mttr", "-2"}, 1, "-mtbf and -mttr must be"},
+		{"missing trace file", []string{"-trace", "/nonexistent/x.swf"}, 1, "no such file"},
+		{"unwritable dump", []string{"-jobs", "5", "-dump", "/nonexistent/dir/out.csv"}, 1, "no such file"},
+		{
+			// Permanent failures (MTTR 0) with a 36 s per-processor MTBF
+			// kill the whole machine long before the trace drains; the
+			// engine must abort with the unfinishable-job error, not spin.
+			"unfinishable fault config",
+			[]string{"-jobs", "30", "-sched", "fcfs", "-mtbf", "0.01", "-mttr", "0"},
+			1,
+			"wider than the surviving machine",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr = %q, want substring %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunHappyPath sanity-checks a tiny real run through the CLI entry
+// point, including the fault summary line gated on -mtbf.
+func TestRunHappyPath(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-jobs", "50", "-sched", "ns", "-verify"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "invariants: ok") || !strings.Contains(out, "scheduler=NS") {
+		t.Errorf("unexpected stdout:\n%s", out)
+	}
+	if strings.Contains(out, "faults:") {
+		t.Errorf("fault summary printed without -mtbf:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-jobs", "50", "-sched", "ns", "-mtbf", "200", "-mttr", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("faulty run exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "faults: failures=") {
+		t.Errorf("no fault summary line with -mtbf set:\n%s", stdout.String())
+	}
+}
+
 func TestSummaryTableShapes(t *testing.T) {
 	tr := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 300, Seed: 5})
 	s, _ := pjs.NewScheduler("ns")

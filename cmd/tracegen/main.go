@@ -10,43 +10,66 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pjs"
+	"pjs/internal/cli"
 	"pjs/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: both streams are latched so a lost
+// stdout write surfaces as a non-zero exit code (INV-errwrite).
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout, stderr := cli.Wrap(stdoutW), cli.Wrap(stderrW)
+	return cli.Exit("tracegen", tracegen(args, stdout, stderr), stdout, stderr)
+}
+
+// tracegen parses args and emits one trace. User-input errors come
+// back as a friendly stderr message and a non-zero exit code.
+func tracegen(args []string, stdout, stderr *cli.W) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		model     = flag.String("model", "CTC", "workload model: CTC, SDSC or KTH")
-		fitFile   = flag.String("fit", "", "fit the model from this SWF log instead of -model")
-		jobs      = flag.Int("jobs", 10000, "number of jobs")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		estimates = flag.String("estimates", "accurate", "user estimates: accurate, inaccurate or modal")
-		loadF     = flag.Float64("load", 1.0, "load factor")
-		out       = flag.String("o", "", "output file (default stdout)")
+		model     = fs.String("model", "CTC", "workload model: CTC, SDSC or KTH")
+		fitFile   = fs.String("fit", "", "fit the model from this SWF log instead of -model")
+		jobs      = fs.Int("jobs", 10000, "number of jobs")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		estimates = fs.String("estimates", "accurate", "user estimates: accurate, inaccurate or modal")
+		loadF     = fs.Float64("load", 1.0, "load factor")
+		out       = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		stderr.Println("tracegen:", err)
+		return 1
+	}
 
 	var m pjs.Model
 	if *fitFile != "" {
 		fh, err := os.Open(*fitFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		tr, err := pjs.ReadSWF(fh, *fitFile)
 		fh.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		m = workload.FitModel(tr)
-		fmt.Fprintf(os.Stderr, "tracegen: fitted %s: %d procs, offered load %.2f, diurnal %.2f\n",
+		stderr.Printf("tracegen: fitted %s: %d procs, offered load %.2f, diurnal %.2f\n",
 			m.Name, m.Procs, m.OfferedLoad, m.DailyCycle)
 	} else {
 		var ok bool
 		m, ok = pjs.ModelByName(*model)
 		if !ok {
-			fatal(fmt.Errorf("unknown model %q", *model))
+			return fail(fmt.Errorf("unknown model %q (want CTC, SDSC or KTH)", *model))
 		}
 	}
 	est := pjs.EstimateAccurate
@@ -57,30 +80,29 @@ func main() {
 	case "modal":
 		est = workload.EstimateModal
 	default:
-		fatal(fmt.Errorf("unknown -estimates %q", *estimates))
+		return fail(fmt.Errorf("unknown -estimates %q", *estimates))
 	}
 	trace := pjs.Generate(m, pjs.GenOptions{Jobs: *jobs, Seed: *seed, Estimates: est})
 	if *loadF != 1.0 {
 		trace = trace.ScaleLoad(*loadF)
 	}
 
-	w := os.Stdout
 	if *out != "" {
 		fh, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer fh.Close()
-		w = fh
+		if err := pjs.WriteSWF(fh, trace); err != nil {
+			fh.Close()
+			return fail(err)
+		}
+		if err := fh.Close(); err != nil {
+			return fail(err)
+		}
+	} else if err := pjs.WriteSWF(stdout, trace); err != nil {
+		return fail(err)
 	}
-	if err := pjs.WriteSWF(w, trace); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, machine %d procs, offered load %.2f\n",
+	stderr.Printf("tracegen: %d jobs, machine %d procs, offered load %.2f\n",
 		len(trace.Jobs), trace.Procs, trace.OfferedLoad())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return 0
 }

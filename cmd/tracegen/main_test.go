@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunErrorPaths: every user-input failure must come back as a
+// non-zero exit code with a friendly stderr message, never a panic.
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stderr
+	}{
+		{"undefined flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"malformed flag value", []string{"-jobs", "NaN"}, 2, "invalid value"},
+		{"unknown model", []string{"-model", "LANL"}, 1, `unknown model "LANL"`},
+		{"unknown estimates", []string{"-estimates", "psychic"}, 1, `unknown -estimates "psychic"`},
+		{"missing fit file", []string{"-fit", "/nonexistent/x.swf"}, 1, "no such file"},
+		{"unwritable output", []string{"-jobs", "5", "-o", "/nonexistent/dir/out.swf"}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr = %q, want substring %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRoundTrip generates a tiny trace to stdout and feeds it back
+// through -fit, exercising both the writer and the model-fitting reader.
+func TestRunRoundTrip(t *testing.T) {
+	var swf, stderr strings.Builder
+	if code := run([]string{"-model", "KTH", "-jobs", "40", "-seed", "3"}, &swf, &stderr); code != 0 {
+		t.Fatalf("generate exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(swf.String(), "; MaxProcs: 100") {
+		t.Errorf("SWF header missing machine size:\n%.300s", swf.String())
+	}
+	if !strings.Contains(stderr.String(), "40 jobs, machine 100 procs") {
+		t.Errorf("summary line missing: %s", stderr.String())
+	}
+}

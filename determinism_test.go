@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"pjs"
+	"pjs/internal/check"
+	"pjs/internal/obs"
 )
 
 // TestSchedulerRegistryDoubleRunDeterminism runs every registered
@@ -79,6 +81,59 @@ func TestSchedulerSpecsAllConstruct(t *testing.T) {
 			t.Errorf("registry spec %q duplicates policy %q", spec, s.Name())
 		}
 		seen[s.Name()] = true
+	}
+}
+
+// TestFaultInjectionDoubleRunDeterminism runs every registered policy
+// twice over the same workload WITH deterministic fault injection and
+// asserts byte-identical audit logs and counter reports. The fault
+// streams are per-processor seeded PRNGs, so the injected schedule must
+// not depend on event interleavings or policy behavior; any divergence
+// here means nondeterminism leaked into (or out of) the failure path.
+// Each faulty log must also replay cleanly through the invariant
+// checker — kills, stranded images and down-processor exclusion
+// included.
+func TestFaultInjectionDoubleRunDeterminism(t *testing.T) {
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 200, Seed: 21})
+	faults := pjs.FaultConfig{MTBF: 500 * 3600, MTTR: 2 * 3600, Seed: 17}
+	for _, spec := range pjs.SchedulerSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			run := func() (audit, counters string, failures int) {
+				s, err := pjs.NewScheduler(spec)
+				if err != nil {
+					t.Fatalf("NewScheduler(%q): %v", spec, err)
+				}
+				c := obs.NewCounters(s.Name(), trace.Procs)
+				res, err := pjs.SimulateChecked(trace, s, pjs.Options{
+					Audit:    true,
+					MaxSteps: 50_000_000,
+					Observer: c,
+					Faults:   faults,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+				if cerr := check.Check(res.Audit, check.Options{
+					ZeroOverhead:   true,
+					AllowMigration: strings.HasPrefix(spec, "ssmig"),
+				}); cerr != nil {
+					t.Fatalf("%s: faulty audit replay: %v", spec, cerr)
+				}
+				return res.Audit.String(), c.String(), res.Failures
+			}
+			a1, c1, f1 := run()
+			a2, c2, _ := run()
+			if f1 == 0 {
+				t.Fatalf("%s: fault model injected no failures", spec)
+			}
+			if a1 != a2 {
+				t.Errorf("%s: faulty audit logs differ (%d vs %d bytes):\n%s",
+					spec, len(a1), len(a2), firstDivergence(a1, a2))
+			}
+			if c1 != c2 {
+				t.Errorf("%s: faulty counter reports differ:\nrun1:\n%s\nrun2:\n%s", spec, c1, c2)
+			}
+		})
 	}
 }
 

@@ -19,8 +19,12 @@ import (
 	"pjs/internal/sched"
 )
 
-// psjf is a minimal preemptive shortest-job-first policy.
+// psjf is a minimal preemptive shortest-job-first policy. Embedding
+// sched.IgnoreFailures opts out of the failure hooks (OnFailure /
+// OnRepair) with no-ops — fine here because this example never enables
+// fault injection; a fault-aware policy would implement them instead.
 type psjf struct {
+	sched.IgnoreFailures
 	env     *sched.Env
 	queue   []*job.Job
 	running []*job.Job

@@ -67,6 +67,7 @@ func Check(log *sched.AuditLog, opt Options) error {
 	for i := range owner {
 		owner[i] = -1
 	}
+	down := make([]bool, log.Procs)
 	jobs := make(map[int]*jobTrack)
 	get := func(id int) *jobTrack {
 		t, ok := jobs[id]
@@ -82,11 +83,35 @@ func Check(log *sched.AuditLog, opt Options) error {
 			return fmt.Errorf("check: entry %d: time %d before %d", i, e.Time, prevTime)
 		}
 		prevTime = e.Time
-		t := get(e.JobID)
 		fail := func(format string, args ...interface{}) error {
 			return fmt.Errorf("check: entry %d (t=%d %v job %d): %s",
 				i, e.Time, e.Action, e.JobID, fmt.Sprintf(format, args...))
 		}
+		// Processor-level entries carry no job; handle them before the
+		// job-track lookup so JobID -1 never creates a phantom track.
+		switch e.Action {
+		case sched.ActProcFail, sched.ActProcRepair:
+			if len(e.Procs) != 1 {
+				return fail("processor event with %d processors", len(e.Procs))
+			}
+			p := e.Procs[0]
+			if p < 0 || p >= log.Procs {
+				return fail("processor %d out of range [0,%d)", p, log.Procs)
+			}
+			if e.Action == sched.ActProcFail {
+				if down[p] {
+					return fail("processor %d failed while already down", p)
+				}
+				down[p] = true
+			} else {
+				if !down[p] {
+					return fail("processor %d repaired while up", p)
+				}
+				down[p] = false
+			}
+			continue
+		}
+		t := get(e.JobID)
 		switch e.Action {
 		case sched.ActArrive:
 			if t.state != stNone {
@@ -123,6 +148,9 @@ func Check(log *sched.AuditLog, opt Options) error {
 				if owner[p] != -1 {
 					return fail("processor %d already owned by job %d", p, owner[p])
 				}
+				if down[p] {
+					return fail("dispatch onto failed processor %d", p)
+				}
 				owner[p] = e.JobID
 			}
 			t.procs = append([]int(nil), e.Procs...)
@@ -151,7 +179,11 @@ func Check(log *sched.AuditLog, opt Options) error {
 			t.state = stSuspended
 
 		case sched.ActKill:
-			if t.state != stRunning {
+			// A kill is legal from Running (speculative abort, or a
+			// processor died under the job) and from Suspending (the
+			// processor died during the image write) — in both states
+			// the job still owns its processors.
+			if t.state != stRunning && t.state != stSuspending {
 				return fail("kill from state %d", t.state)
 			}
 			for _, p := range t.procs {
@@ -161,6 +193,20 @@ func Check(log *sched.AuditLog, opt Options) error {
 				owner[p] = -1
 			}
 			// All work is discarded: the job is queued as if fresh.
+			t.ran = 0
+			t.procs = nil
+			t.state = stArrived
+
+		case sched.ActImageLost:
+			// A suspended job's image sat on a failed processor: it
+			// returns to the queue from scratch. It held no processors,
+			// so nothing is released.
+			if t.state != stSuspended {
+				return fail("image-lost from state %d", t.state)
+			}
+			if !sameSet(e.Procs, t.procs) {
+				return fail("image-lost set %v, suspended on %v", e.Procs, t.procs)
+			}
 			t.ran = 0
 			t.procs = nil
 			t.state = stArrived

@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// brokenWriter fails every write after the first n bytes succeed.
+type brokenWriter struct {
+	n    int
+	seen int
+}
+
+var errPipe = errors.New("broken pipe")
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if b.seen >= b.n {
+		return 0, errPipe
+	}
+	b.seen += len(p)
+	return len(p), nil
+}
+
+func TestWLatchesFirstError(t *testing.T) {
+	w := Wrap(&brokenWriter{n: 5})
+	w.Printf("ok")
+	if w.Err() != nil {
+		t.Fatalf("premature latch: %v", w.Err())
+	}
+	w.Println("this write fails")
+	w.Print("and so does this one")
+	if !errors.Is(w.Err(), errPipe) {
+		t.Fatalf("Err() = %v, want latched pipe error", w.Err())
+	}
+}
+
+func TestExitFoldsStdoutErrorIntoCode(t *testing.T) {
+	var errBuf strings.Builder
+	stdout, stderr := Wrap(&brokenWriter{}), Wrap(&errBuf)
+	stdout.Println("lost")
+	if code := Exit("psim", 0, stdout, stderr); code != 1 {
+		t.Errorf("Exit = %d, want 1 after a stdout write loss", code)
+	}
+	if !strings.Contains(errBuf.String(), "psim: stdout write error") {
+		t.Errorf("stderr = %q, want a stdout-write-error report", errBuf.String())
+	}
+
+	// A run that already failed keeps its code; healthy stdout passes 0.
+	if code := Exit("psim", 2, stdout, stderr); code != 2 {
+		t.Errorf("Exit = %d, want the original failure code 2", code)
+	}
+	var ok strings.Builder
+	if code := Exit("psim", 0, Wrap(&ok), stderr); code != 0 {
+		t.Errorf("Exit = %d, want 0 for a clean run", code)
+	}
+}

@@ -35,10 +35,12 @@ const (
 type Cluster struct {
 	n      int
 	policy AllocPolicy
-	owner  []int // processor -> owning job ID, or none
-	claim  []int // processor -> claiming job ID, or none
+	owner  []int  // processor -> owning job ID, or none
+	claim  []int  // processor -> claiming job ID, or none
+	down   []bool // processor -> failed (out of service)
 
-	freeUnclaimed int // processors with neither owner nor claim
+	upCount       int // processors in service
+	freeUnclaimed int // up processors with neither owner nor claim
 
 	// Busy-time integral for utilization: busyAccum accumulates
 	// (owned processors) × seconds as ownership changes over time.
@@ -52,7 +54,8 @@ func New(n int) *Cluster {
 	if n < 1 {
 		panic("cluster: need at least one processor")
 	}
-	c := &Cluster{n: n, owner: make([]int, n), claim: make([]int, n), freeUnclaimed: n}
+	c := &Cluster{n: n, owner: make([]int, n), claim: make([]int, n),
+		down: make([]bool, n), upCount: n, freeUnclaimed: n}
 	for i := range c.owner {
 		c.owner[i] = none
 		c.claim[i] = none
@@ -66,9 +69,16 @@ func (c *Cluster) Size() int { return c.n }
 // SetAllocPolicy switches the free-processor placement policy.
 func (c *Cluster) SetAllocPolicy(p AllocPolicy) { c.policy = p }
 
-// FreeUnclaimed returns the number of processors that are neither owned
-// nor claimed — the pool available for fresh allocations.
+// FreeUnclaimed returns the number of in-service processors that are
+// neither owned nor claimed — the pool available for fresh allocations.
 func (c *Cluster) FreeUnclaimed() int { return c.freeUnclaimed }
+
+// Up reports whether processor p is in service.
+func (c *Cluster) Up(p int) bool { return !c.down[p] }
+
+// UpCount returns the number of in-service processors — the effective
+// machine size under fault injection.
+func (c *Cluster) UpCount() int { return c.upCount }
 
 // Busy returns the number of processors currently owned by jobs.
 func (c *Cluster) Busy() int { return c.busyCount }
@@ -87,6 +97,37 @@ func (c *Cluster) advance(now int64) {
 	}
 	c.busyAccum += int64(c.busyCount) * (now - c.lastTime)
 	c.lastTime = now
+}
+
+// Fail takes processor p out of service. Ownership and claims are left
+// in place — the scheduler driver kills the owner and aborts claimants
+// immediately after — but p leaves the free-unclaimed pool and no new
+// allocation will touch it until Repair.
+func (c *Cluster) Fail(now int64, p int) {
+	if c.down[p] {
+		panic(fmt.Sprintf("cluster: processor %d failed while already down", p))
+	}
+	c.advance(now)
+	c.down[p] = true
+	c.upCount--
+	if c.owner[p] == none && c.claim[p] == none {
+		c.freeUnclaimed--
+	}
+}
+
+// Repair returns processor p to service and to the free-unclaimed pool.
+func (c *Cluster) Repair(now int64, p int) {
+	if !c.down[p] {
+		panic(fmt.Sprintf("cluster: processor %d repaired while up", p))
+	}
+	if c.owner[p] != none || c.claim[p] != none {
+		panic(fmt.Sprintf("cluster: processor %d repaired while owned by %d / claimed by %d",
+			p, c.owner[p], c.claim[p]))
+	}
+	c.advance(now)
+	c.down[p] = false
+	c.upCount++
+	c.freeUnclaimed++
 }
 
 // AllocFree allocates k processors for job id from the free-unclaimed
@@ -110,7 +151,7 @@ func (c *Cluster) AllocFree(now int64, id, k int) []int {
 		}
 	}
 	for p := 0; p < c.n && len(procs) < k; p++ {
-		if c.owner[p] == none && c.claim[p] == none {
+		if c.owner[p] == none && c.claim[p] == none && !c.down[p] {
 			c.owner[p] = id
 			procs = append(procs, p)
 		}
@@ -136,7 +177,7 @@ func (c *Cluster) bestFitRun(k int) int {
 		runStart = -1
 	}
 	for p := 0; p < c.n; p++ {
-		if c.owner[p] == none && c.claim[p] == none {
+		if c.owner[p] == none && c.claim[p] == none && !c.down[p] {
 			if runStart < 0 {
 				runStart = p
 			}
@@ -159,6 +200,9 @@ func (c *Cluster) AllocSet(now int64, id int, set []int) {
 		}
 		if c.claim[p] != none && c.claim[p] != id {
 			panic(fmt.Sprintf("cluster: processor %d claimed by %d, wanted by %d", p, c.claim[p], id))
+		}
+		if c.down[p] {
+			panic(fmt.Sprintf("cluster: processor %d allocated to %d while down", p, id))
 		}
 	}
 	c.advance(now)
@@ -183,7 +227,7 @@ func (c *Cluster) Release(now int64, id int, set []int) {
 			panic(fmt.Sprintf("cluster: release of processor %d by non-owner %d (owner %d)", p, id, c.owner[p]))
 		}
 		c.owner[p] = none
-		if c.claim[p] == none {
+		if c.claim[p] == none && !c.down[p] {
 			c.freeUnclaimed++
 		}
 	}
@@ -191,12 +235,16 @@ func (c *Cluster) Release(now int64, id int, set []int) {
 }
 
 // Claim reserves the processors in set for job id. Each processor must
-// be unclaimed; it may be owned (by a job that is being suspended) or
-// free. Free processors leave the free-unclaimed pool immediately.
+// be up and unclaimed; it may be owned (by a job that is being
+// suspended) or free. Free processors leave the free-unclaimed pool
+// immediately.
 func (c *Cluster) Claim(id int, set []int) {
 	for _, p := range set {
 		if c.claim[p] != none {
 			panic(fmt.Sprintf("cluster: processor %d already claimed by %d, wanted by %d", p, c.claim[p], id))
+		}
+		if c.down[p] {
+			panic(fmt.Sprintf("cluster: processor %d claimed by %d while down", p, id))
 		}
 	}
 	for _, p := range set {
@@ -215,29 +263,31 @@ func (c *Cluster) Unclaim(id int, set []int) {
 			panic(fmt.Sprintf("cluster: unclaim of processor %d by non-claimant %d", p, id))
 		}
 		c.claim[p] = none
-		if c.owner[p] == none {
+		if c.owner[p] == none && !c.down[p] {
 			c.freeUnclaimed++
 		}
 	}
 }
 
-// ClaimReady reports whether every processor in set is unowned (so a
-// pending start holding these claims can proceed).
+// ClaimReady reports whether every processor in set is unowned and up
+// (so a pending start holding these claims can proceed). A down
+// processor in the set blocks activation until the driver aborts the
+// pending start as part of its failure handling.
 func (c *Cluster) ClaimReady(set []int) bool {
 	for _, p := range set {
-		if c.owner[p] != none {
+		if c.owner[p] != none || c.down[p] {
 			return false
 		}
 	}
 	return true
 }
 
-// SetFree reports whether every processor in set is unowned and not
+// SetFree reports whether every processor in set is up, unowned and not
 // claimed by another job — the condition for a suspended job (id) to
 // restart locally without preemption.
 func (c *Cluster) SetFree(id int, set []int) bool {
 	for _, p := range set {
-		if c.owner[p] != none {
+		if c.owner[p] != none || c.down[p] {
 			return false
 		}
 		if c.claim[p] != none && c.claim[p] != id {
@@ -252,7 +302,7 @@ func (c *Cluster) SetFree(id int, set []int) bool {
 func (c *Cluster) ListFreeUnclaimed(k int) []int {
 	out := make([]int, 0, k)
 	for p := 0; p < c.n && len(out) < k; p++ {
-		if c.owner[p] == none && c.claim[p] == none {
+		if c.owner[p] == none && c.claim[p] == none && !c.down[p] {
 			out = append(out, p)
 		}
 	}
@@ -264,7 +314,7 @@ func (c *Cluster) ListFreeUnclaimed(k int) []int {
 func (c *Cluster) FreeUnclaimedIn(id int, set []int) []int {
 	var out []int
 	for _, p := range set {
-		if c.owner[p] == none && (c.claim[p] == none || c.claim[p] == id) {
+		if c.owner[p] == none && !c.down[p] && (c.claim[p] == none || c.claim[p] == id) {
 			out = append(out, p)
 		}
 	}
@@ -291,12 +341,16 @@ func (c *Cluster) Utilization(start, end int64) float64 {
 func (c *Cluster) CheckInvariants() error {
 	free := 0
 	busy := 0
+	up := 0
 	for p := 0; p < c.n; p++ {
-		if c.owner[p] == none && c.claim[p] == none {
+		if c.owner[p] == none && c.claim[p] == none && !c.down[p] {
 			free++
 		}
 		if c.owner[p] != none {
 			busy++
+		}
+		if !c.down[p] {
+			up++
 		}
 	}
 	if free != c.freeUnclaimed {
@@ -304,6 +358,9 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	if busy != c.busyCount {
 		return fmt.Errorf("cluster: busyCount=%d, recount=%d", c.busyCount, busy)
+	}
+	if up != c.upCount {
+		return fmt.Errorf("cluster: upCount=%d, recount=%d", c.upCount, up)
 	}
 	return nil
 }

@@ -258,6 +258,7 @@ func init() {
 	registerLoadFigs()
 	registerCoarseTables()
 	registerAblations()
+	registerFailureSweep()
 }
 
 func registerTheoryFigs() {

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pjs/internal/check"
+	"pjs/internal/fault"
+	"pjs/internal/metrics"
+	"pjs/internal/report"
+	"pjs/internal/sched"
+	"pjs/internal/workload"
+)
+
+// registerFailureSweep adds the failure-rate sensitivity study: the
+// paper evaluates an always-healthy machine, so this extension asks how
+// gracefully the non-preemptive baseline (NS) and Selective Suspension
+// degrade when processors fail and repair. Failed processors kill their
+// running job (work since the last fresh start is lost, the job is
+// requeued) and strand the memory images of jobs suspended on them —
+// preemptive policies therefore carry extra exposure: every suspended
+// job is a hostage to the processors holding its image.
+func registerFailureSweep() {
+	register("failures", "Failure-rate sweep: scheduling under processor faults (extension)",
+		func(r *Runner) Renderable {
+			return Group{
+				failureTable(r, NS()),
+				failureTable(r, SS(2)),
+			}
+		})
+}
+
+// faultSweepSeed fixes the injected fault schedule so pexp output is
+// reproducible run to run (the determinism CI smoke diffs two runs).
+const faultSweepSeed = 101
+
+// sweepPoints are the per-processor MTBF points in hours; 0 is the
+// fault-free baseline. MTTR is held at 2 h. The points stay well above
+// job runtimes: below that, every failure discards all accumulated
+// work and the machine thrashes instead of degrading.
+var sweepPoints = []int64{0, 4000, 1000, 250}
+
+// failureTable sweeps one scheme across the MTBF points.
+func failureTable(r *Runner, sc Scheme) Renderable {
+	rows := make([]string, len(sweepPoints))
+	for i, m := range sweepPoints {
+		if m == 0 {
+			rows[i] = "no failures"
+		} else {
+			rows[i] = fmt.Sprintf("MTBF %d h", m)
+		}
+	}
+	title := fmt.Sprintf("failure-rate sweep: %s (SDSC, MTTR 2 h)", sc.Label)
+	t := report.NewTable(title, rows,
+		[]string{"mean sd", "worst sd", "util %", "failures", "fail-kills",
+			"images lost", "resubmits", "lost work h"})
+	tk := traceKey{"SDSC", workload.EstimateAccurate, 100}
+	trace := r.Trace(tk.model, tk.est, tk.loadPct)
+	for i, mtbf := range sweepPoints {
+		opt := sched.Options{MaxSteps: r.Config().MaxSteps, Audit: r.Config().Verify}
+		if mtbf > 0 {
+			opt.Faults = fault.Config{MTBF: mtbf * 3600, MTTR: 2 * 3600, Seed: faultSweepSeed}
+		}
+		if reg := r.Config().Counters; reg != nil {
+			opt.Observer = reg.For(fmt.Sprintf("%s %s", sc.Label, rows[i]), trace.Procs)
+		}
+		res, err := sched.RunChecked(trace, sc.make(r, tk), opt)
+		if err != nil {
+			// Degrade gracefully: a point that cannot finish (thrash,
+			// step-limit) reports itself instead of aborting the suite.
+			return Text(fmt.Sprintf("%s\n  %s: %v\n", title, rows[i], err))
+		}
+		if r.Config().Verify {
+			if cerr := check.Check(res.Audit, check.Options{ZeroOverhead: true}); cerr != nil {
+				panic(fmt.Sprintf("experiment: %s under faults: %v", sc.Label, cerr))
+			}
+			res.Audit = nil
+		}
+		sum := metrics.FromResult(res, metrics.All)
+		resubmits := 0
+		for _, j := range res.Jobs {
+			resubmits += j.Resubmits
+		}
+		t.Set(i, 0, sum.Overall.MeanSlowdown)
+		t.Set(i, 1, sum.Overall.WorstSlowdown)
+		t.Set(i, 2, 100*res.Utilization)
+		t.Set(i, 3, float64(res.Failures))
+		t.Set(i, 4, float64(res.FailKills))
+		t.Set(i, 5, float64(res.ImagesLost))
+		t.Set(i, 6, float64(resubmits))
+		t.Set(i, 7, float64(res.LostWorkSeconds)/3600)
+	}
+	t.Note = fmt.Sprintf("per-processor exponential fail/repair, fault seed %d, jobs=%d",
+		faultSweepSeed, r.Config().Jobs)
+	return t
+}

@@ -70,6 +70,7 @@ type Job struct {
 	PendingRead  int64 // restart-overhead seconds still owed at dispatch
 	Suspensions  int   // number of times the job has been suspended
 	Kills        int   // number of speculative executions aborted
+	Resubmits    int   // number of processor-failure restarts from scratch
 	Epoch        int   // invalidates stale completion/suspend events
 	ProcSet      []int // processors currently held or held before suspension
 }
@@ -231,6 +232,29 @@ func (j *Job) Kill(now int64) {
 	j.State = Queued
 	j.Kills++
 	j.Epoch++
+}
+
+// Fail aborts the job after a processor failure and returns the compute
+// seconds that were lost. Valid from Running (the processor died under
+// the job), Suspending (it died during the image write) and Suspended
+// (it held the job's memory image — the stranded-image cost of local
+// restart): in every case the job returns to the queue with all
+// progress discarded, because batch jobs cannot be checkpointed and a
+// partial or stranded image is worthless. The caller releases
+// processors and clears ProcSet as appropriate.
+func (j *Job) Fail(now int64) (lost int64) {
+	switch j.State {
+	case Running, Suspending, Suspended:
+	default:
+		panic(fmt.Sprintf("job %d: Fail in state %v", j.ID, j.State))
+	}
+	lost = j.ranAt(now)
+	j.Ran = 0
+	j.PendingRead = 0
+	j.State = Queued
+	j.Resubmits++
+	j.Epoch++
+	return lost
 }
 
 // Complete records successful completion at time now.

@@ -46,6 +46,13 @@ type Counters struct {
 	// by suspensions (MemPerProc × width per suspension).
 	SuspendedImageBytes int64
 
+	// Fault-injection counts: processor fail/repair events, suspended
+	// images stranded on failed processors, and the compute seconds
+	// discarded by failure kills and stranded images. All stay zero
+	// without a fault model, and the canonical String render omits them
+	// then, keeping no-fault output byte-identical.
+	ProcFails, ProcRepairs, ImageLosses, LostWorkSeconds int64
+
 	// PerCategory breaks starts/resumes/suspensions/kills/finishes down
 	// by the job's 16-way category.
 	PerCategory [16]CategoryCounters
@@ -111,8 +118,18 @@ func (c *Counters) Observe(ev sched.Event) {
 	case sched.ActKill:
 		c.Kills++
 		c.PerCategory[j.Category().Index()].Kills++
+		c.LostWorkSeconds += ev.LostWork
 		// The killed job returns to the queue as if never run.
 		c.queued = append(c.queued, queuedJob{j.SubmitTime, j.ID})
+	case sched.ActImageLost:
+		c.ImageLosses++
+		c.LostWorkSeconds += ev.LostWork
+		// The stranded job restarts from scratch: back in the queue.
+		c.queued = append(c.queued, queuedJob{j.SubmitTime, j.ID})
+	case sched.ActProcFail:
+		c.ProcFails++
+	case sched.ActProcRepair:
+		c.ProcRepairs++
 	case sched.ActTick:
 		c.Ticks++
 	}
@@ -163,6 +180,10 @@ func (c Counters) Minus(prev Counters) Counters {
 	d.BackfillStarts -= prev.BackfillStarts
 	d.PreemptionWaves -= prev.PreemptionWaves
 	d.SuspendedImageBytes -= prev.SuspendedImageBytes
+	d.ProcFails -= prev.ProcFails
+	d.ProcRepairs -= prev.ProcRepairs
+	d.ImageLosses -= prev.ImageLosses
+	d.LostWorkSeconds -= prev.LostWorkSeconds
 	for i := range d.PerCategory {
 		d.PerCategory[i].Starts -= prev.PerCategory[i].Starts
 		d.PerCategory[i].Resumes -= prev.PerCategory[i].Resumes
@@ -181,7 +202,9 @@ func (c Counters) IsZero() bool {
 	return c.Arrivals == 0 && c.Starts == 0 && c.Resumes == 0 &&
 		c.SuspendBegins == 0 && c.SuspendDones == 0 && c.Finishes == 0 &&
 		c.Kills == 0 && c.Ticks == 0 && c.BackfillStarts == 0 &&
-		c.PreemptionWaves == 0 && c.SuspendedImageBytes == 0
+		c.PreemptionWaves == 0 && c.SuspendedImageBytes == 0 &&
+		c.ProcFails == 0 && c.ProcRepairs == 0 && c.ImageLosses == 0 &&
+		c.LostWorkSeconds == 0
 }
 
 // String renders the counters in a canonical one-value-per-token form.
@@ -194,6 +217,12 @@ func (c *Counters) String() string {
 		c.Arrivals, c.Starts, c.Resumes, c.SuspendBegins, c.SuspendDones, c.Finishes, c.Kills, c.Ticks)
 	fmt.Fprintf(&b, "backfill-starts=%d preemption-waves=%d max-chain-depth=%d suspended-image-bytes=%d\n",
 		c.BackfillStarts, c.PreemptionWaves, c.MaxChainDepth, c.SuspendedImageBytes)
+	if c.ProcFails != 0 || c.ProcRepairs != 0 || c.ImageLosses != 0 || c.LostWorkSeconds != 0 {
+		// Rendered only when fault injection produced activity, so
+		// no-fault runs stay byte-identical to pre-fault builds.
+		fmt.Fprintf(&b, "proc-fails=%d proc-repairs=%d image-losses=%d lost-work-seconds=%d\n",
+			c.ProcFails, c.ProcRepairs, c.ImageLosses, c.LostWorkSeconds)
+	}
 	for i, cc := range c.PerCategory {
 		if cc.zero() {
 			continue

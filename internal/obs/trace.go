@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 
 	"pjs/internal/job"
 	"pjs/internal/sched"
@@ -16,10 +17,12 @@ const tsScale = 1_000_000
 // Slice phase categories, exposed so the validator and summary tooling
 // share the exporter's vocabulary.
 const (
-	CatRun   = "run"          // computing
-	CatRead  = "restart-read" // restart I/O after a resume
-	CatWrite = "suspend-write" // suspension image write (overhead)
-	CatKill  = "killed"       // a speculative execution that was aborted
+	CatRun       = "run"           // computing
+	CatRead      = "restart-read"  // restart I/O after a resume
+	CatWrite     = "suspend-write" // suspension image write (overhead)
+	CatKill      = "killed"        // an aborted execution (speculative gamble or processor failure)
+	CatDown      = "down"          // a processor out of service after a failure
+	CatImageLost = "image-lost"    // a suspended image stranded on a failed processor
 )
 
 // tracePid is the single process all tracks live under; each processor
@@ -52,6 +55,19 @@ type sliceArgs struct {
 	RunS        int64  `json:"run_s"`
 	SubmitS     int64  `json:"submit_s"`
 	Suspensions int    `json:"suspensions"`
+}
+
+// downSliceEvent is a complete ("X") slice marking a processor's
+// out-of-service span. It carries no args: there is no job subject, and
+// the validator must not count one.
+type downSliceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
 }
 
 // metaEvent names the process and its processor threads.
@@ -106,6 +122,12 @@ type TraceBuilder struct {
 	lastCounterTs   int64
 	haveCounter     bool
 	countersPerInst int // trailing counter events of the last instant
+
+	// Fault-injection state: processor -> failure time of the open
+	// down span, plus the last event time seen (to close spans still
+	// open at export). Untouched without faults.
+	downSince map[int]int64
+	lastTime  int64
 }
 
 // NewTraceBuilder returns a builder for a machine of the given size,
@@ -136,8 +158,14 @@ func procName(p int) string {
 // Observe implements sched.Observer.
 func (b *TraceBuilder) Observe(ev sched.Event) {
 	b.sampleCounters(ev)
+	if ev.Time > b.lastTime {
+		b.lastTime = ev.Time
+	}
 	j := ev.Job
 	if j == nil {
+		if ev.Action == sched.ActProcFail || ev.Action == sched.ActProcRepair {
+			b.observeFault(ev)
+		}
 		return
 	}
 	switch ev.Action {
@@ -156,8 +184,45 @@ func (b *TraceBuilder) Observe(ev sched.Event) {
 	case sched.ActFinish:
 		b.closeBurst(j, ev.Time, CatRun)
 	case sched.ActKill:
-		b.closeBurst(j, ev.Time, CatKill)
+		if seg := b.open[j.ID]; seg != nil && seg.write {
+			// The processor failed during the image write: the partial
+			// write closes as a killed slice.
+			delete(b.open, j.ID)
+			b.emitSlices(j, seg.procs, seg.start, ev.Time-seg.start, CatKill)
+		} else {
+			b.closeBurst(j, ev.Time, CatKill)
+		}
+	case sched.ActImageLost:
+		// The stranded image is a zero-duration marker on the set the
+		// job was suspended on (it held no processors at the time).
+		b.emitSlices(j, ev.Procs, ev.Time, 0, CatImageLost)
 	}
+}
+
+// observeFault maintains the per-processor down spans.
+func (b *TraceBuilder) observeFault(ev sched.Event) {
+	p := ev.Procs[0]
+	switch ev.Action {
+	case sched.ActProcFail:
+		if b.downSince == nil {
+			b.downSince = make(map[int]int64)
+		}
+		b.downSince[p] = ev.Time
+	case sched.ActProcRepair:
+		if start, ok := b.downSince[p]; ok {
+			delete(b.downSince, p)
+			b.emitDown(p, start, ev.Time)
+		}
+	}
+}
+
+// emitDown emits one down slice for processor p over [start, end].
+func (b *TraceBuilder) emitDown(p int, start, end int64) {
+	b.slices = append(b.slices, downSliceEvent{
+		Name: "down", Cat: CatDown, Ph: "X",
+		Ts: start * tsScale, Dur: (end - start) * tsScale,
+		Pid: tracePid, Tid: p,
+	})
 }
 
 // closeBurst closes j's compute burst at time end, splitting off the
@@ -217,6 +282,8 @@ func sliceName(id int, cat string) string {
 		return base + " (suspend write)"
 	case CatKill:
 		return base + " (killed)"
+	case CatImageLost:
+		return base + " (image lost)"
 	}
 	return base
 }
@@ -262,6 +329,23 @@ func (b *TraceBuilder) sampleCounters(ev sched.Event) {
 // stream), counters in instant order, and encoding/json's sorted map
 // keys. Write errors are propagated.
 func (b *TraceBuilder) WriteJSON(w io.Writer) error {
+	// Close down spans still open at the end of the run, in processor
+	// order for deterministic output.
+	if len(b.downSince) > 0 {
+		procs := make([]int, 0, len(b.downSince))
+		for p := range b.downSince {
+			procs = append(procs, p)
+		}
+		sort.Ints(procs)
+		for _, p := range procs {
+			end := b.lastTime
+			if end < b.downSince[p] {
+				end = b.downSince[p]
+			}
+			b.emitDown(p, b.downSince[p], end)
+		}
+		b.downSince = nil
+	}
 	all := make([]any, 0, len(b.meta)+len(b.slices)+len(b.counters))
 	all = append(all, b.meta...)
 	all = append(all, b.slices...)

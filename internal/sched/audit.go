@@ -25,9 +25,21 @@ const (
 	ActSuspendDone
 	// ActFinish records a completion.
 	ActFinish
-	// ActKill records a speculative-execution abort: the job's
-	// processors are released and all its work is discarded.
+	// ActKill records an execution abort — a speculative gamble that
+	// failed, or a running/suspending job whose processor failed. The
+	// job's processors are released and all its work is discarded.
 	ActKill
+	// ActImageLost records the invalidation of a suspended job whose
+	// memory image sat on a failed processor: the job returns to the
+	// queue to restart from scratch. No processors are released (a
+	// suspended job holds none); Procs records the stranded set.
+	ActImageLost
+	// ActProcFail records a processor failure (fault injection). The
+	// entry carries no job: JobID is -1 and Procs holds the processor.
+	ActProcFail
+	// ActProcRepair records a failed processor returning to service.
+	// Like ActProcFail it carries no job.
+	ActProcRepair
 	// ActTick is the periodic scheduler-tick heartbeat. It is emitted
 	// to observers only (Event.Job is nil) and never appears in the
 	// audit log, which records job actions exclusively.
@@ -51,6 +63,12 @@ func (a Action) String() string {
 		return "finish"
 	case ActKill:
 		return "kill"
+	case ActImageLost:
+		return "image-lost"
+	case ActProcFail:
+		return "proc-fail"
+	case ActProcRepair:
+		return "proc-repair"
 	case ActTick:
 		return "tick"
 	}
@@ -100,5 +118,16 @@ func (l *AuditLog) add(now int64, a Action, j *job.Job, procs []int) {
 		Width:   j.Procs,
 		RunTime: j.RunTime,
 		Submit:  j.SubmitTime,
+	})
+}
+
+// addProc records a processor-level action (fail/repair) with no job
+// subject: JobID is -1 and Procs holds just the processor.
+func (l *AuditLog) addProc(now int64, a Action, p int) {
+	l.Entries = append(l.Entries, Entry{
+		Time:   now,
+		Action: a,
+		JobID:  -1,
+		Procs:  []int{p},
 	})
 }

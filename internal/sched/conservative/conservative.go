@@ -21,6 +21,11 @@ type reservation struct {
 	start int64
 }
 
+// farFuture anchors a reservation for a job wider than the surviving
+// machine: it cannot be profiled (subtracting it would underflow), so
+// it parks at an unreachable start until a repair restores capacity.
+const farFuture = int64(1) << 60
+
 // Sched is the conservative-backfilling policy.
 type Sched struct {
 	env     *sched.Env
@@ -44,8 +49,15 @@ func (s *Sched) TickInterval() int64 { return 0 }
 // current usage profile (running jobs + all existing reservations).
 func (s *Sched) OnArrival(j *job.Job) {
 	now := s.env.Now()
+	if j.Procs > s.env.Cluster.UpCount() {
+		s.insertResv(reservation{j: j, start: farFuture})
+		return
+	}
 	p := s.profile(now)
 	for _, r := range s.resvs {
+		if r.start >= farFuture {
+			continue // wider than the surviving machine, not in the profile
+		}
 		p.Sub(r.start, r.start+r.j.Estimate, r.j.Procs)
 	}
 	anchor := p.FindStart(now, j.Procs, j.Estimate)
@@ -66,7 +78,12 @@ func (s *Sched) OnCompletion(j *job.Job) {
 	old := s.resvs
 	s.resvs = nil
 	p := s.profile(now)
+	capacity := s.env.Cluster.UpCount()
 	for _, r := range old {
+		if r.j.Procs > capacity {
+			s.insertResv(reservation{j: r.j, start: farFuture})
+			continue
+		}
 		anchor := p.FindStart(now, r.j.Procs, r.j.Estimate)
 		if anchor == now && s.env.Cluster.FreeUnclaimed() >= r.j.Procs {
 			s.mustStart(r.j)
@@ -83,9 +100,64 @@ func (s *Sched) OnSuspendDone(*job.Job) {}
 // OnTick implements sched.Scheduler.
 func (s *Sched) OnTick() {}
 
-// profile builds the availability timeline from the running jobs only.
+// OnFailure implements sched.Scheduler: displaced jobs lose their run
+// and every guarantee is recomputed from scratch against the surviving
+// machine — the capacity loss may push any anchor later, so nothing
+// short of a full rebuild keeps the profile sound.
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	for _, j := range requeued {
+		s.running = sched.Remove(s.running, j)
+	}
+	s.rebuild(requeued)
+}
+
+// OnRepair implements sched.Scheduler: the recovered processor may pull
+// every anchor earlier (and re-admit jobs parked at farFuture), so the
+// schedule is rebuilt just like after a failure.
+func (s *Sched) OnRepair(int) { s.rebuild(nil) }
+
+// rebuild re-anchors every queued job — existing reservations plus any
+// newly displaced jobs — in (submit, id) order against the surviving
+// machine, starting those whose anchor is now.
+func (s *Sched) rebuild(extra []*job.Job) {
+	now := s.env.Now()
+	jobs := make([]*job.Job, 0, len(s.resvs)+len(extra))
+	for _, r := range s.resvs {
+		jobs = append(jobs, r.j)
+	}
+	for _, j := range extra {
+		if !sched.Contains(jobs, j) {
+			jobs = append(jobs, j)
+		}
+	}
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].SubmitTime != jobs[k].SubmitTime {
+			return jobs[i].SubmitTime < jobs[k].SubmitTime
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	s.resvs = nil
+	p := s.profile(now)
+	capacity := s.env.Cluster.UpCount()
+	for _, j := range jobs {
+		if j.Procs > capacity {
+			s.insertResv(reservation{j: j, start: farFuture})
+			continue
+		}
+		anchor := p.FindStart(now, j.Procs, j.Estimate)
+		if anchor == now && s.env.Cluster.FreeUnclaimed() >= j.Procs {
+			s.mustStart(j)
+		} else {
+			s.insertResv(reservation{j: j, start: anchor})
+		}
+		p.Sub(anchor, anchor+j.Estimate, j.Procs)
+	}
+}
+
+// profile builds the availability timeline from the running jobs only,
+// over the processors currently in service.
 func (s *Sched) profile(now int64) *sched.Profile {
-	p := sched.NewProfile(now, s.env.Cluster.Size())
+	p := sched.NewProfile(now, s.env.Cluster.UpCount())
 	for _, r := range s.running {
 		end := r.LastDispatch + r.PendingRead + r.Estimate
 		if end > now {

@@ -77,6 +77,38 @@ func (s *Sched) OnSuspendDone(*job.Job) {}
 // OnTick implements sched.Scheduler.
 func (s *Sched) OnTick() {}
 
+// OnFailure implements sched.Scheduler: displaced jobs rejoin the queue
+// at their submission-order position (restoring the arrival order the
+// reservation depth is defined over) and the schedule is recomputed
+// against the surviving machine.
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	for _, j := range requeued {
+		s.running = sched.Remove(s.running, j)
+		if !sched.Contains(s.queue, j) {
+			s.insert(j)
+		}
+	}
+	s.schedule()
+}
+
+// OnRepair implements sched.Scheduler: recovered capacity may advance
+// any reservation.
+func (s *Sched) OnRepair(int) { s.schedule() }
+
+// insert places j back into the queue in (submit, id) order.
+func (s *Sched) insert(j *job.Job) {
+	at := len(s.queue)
+	for i, q := range s.queue {
+		if j.SubmitTime < q.SubmitTime || (j.SubmitTime == q.SubmitTime && j.ID < q.ID) {
+			at = i
+			break
+		}
+	}
+	s.queue = append(s.queue, nil)
+	copy(s.queue[at+1:], s.queue[at:])
+	s.queue[at] = j
+}
+
 func (s *Sched) start(j *job.Job) bool {
 	if !s.env.StartFresh(j) {
 		return false
@@ -86,9 +118,16 @@ func (s *Sched) start(j *job.Job) bool {
 	return true
 }
 
-// profile builds the availability timeline from the running jobs.
+// farFuture is the pseudo-anchor of a job wider than the surviving
+// machine: it cannot be profiled (subtracting it would underflow), so
+// its reservation parks unreachably far out until a repair restores
+// capacity.
+const farFuture = int64(1) << 60
+
+// profile builds the availability timeline from the running jobs, over
+// the processors currently in service.
 func (s *Sched) profile(now int64) *sched.Profile {
-	p := sched.NewProfile(now, s.env.Cluster.Size())
+	p := sched.NewProfile(now, s.env.Cluster.UpCount())
 	for _, r := range s.running {
 		end := r.LastDispatch + r.PendingRead + r.Estimate
 		if end > now {
@@ -105,9 +144,14 @@ func (s *Sched) anchors(p *sched.Profile, now int64) []int64 {
 	if n > len(s.queue) {
 		n = len(s.queue)
 	}
+	capacity := s.env.Cluster.UpCount()
 	out := make([]int64, n)
 	for i := 0; i < n; i++ {
 		j := s.queue[i]
+		if j.Procs > capacity {
+			out[i] = farFuture
+			continue
+		}
 		a := p.FindStart(now, j.Procs, j.Estimate)
 		p.Sub(a, a+j.Estimate, j.Procs)
 		out[i] = a
@@ -169,11 +213,18 @@ func (s *Sched) depthOrLen() int {
 func (s *Sched) backfillLegal(c *job.Job, now int64, base []int64) bool {
 	p := s.profile(now)
 	p.Sub(now, now+c.Estimate, c.Procs)
+	capacity := s.env.Cluster.UpCount()
 	n := len(base)
 	idx := 0
 	for i := 0; i < len(s.queue) && idx < n; i++ {
 		j := s.queue[i]
 		if j == c {
+			continue
+		}
+		if j.Procs > capacity {
+			// Parked at farFuture in base too; the candidate cannot
+			// delay it further.
+			idx++
 			continue
 		}
 		a := p.FindStart(now, j.Procs, j.Estimate)

@@ -154,6 +154,42 @@ func (s *Sched) OnTick() {
 	s.rotate()
 }
 
+// OnFailure implements sched.Scheduler: displaced jobs keep their
+// matrix row (membership is by width, which a failure does not change).
+// Two pieces of drive-train must be restarted by hand, though: a drain
+// whose last Suspending victim was fail-killed will never see its
+// OnSuspendDone, and a fully killed active row should not idle the
+// machine until the next quantum tick.
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	if s.target >= 0 {
+		// Complete a stalled drain: the killed victim will not report.
+		for _, q := range s.rows[s.active].jobs {
+			if q.State == job.Suspending {
+				return // drain genuinely still in progress
+			}
+		}
+		s.active = s.target
+		s.target = -1
+		s.launchActive()
+		return
+	}
+	if s.activeRowIdle() {
+		s.rotate()
+	}
+	if s.target < 0 && len(s.rows) > 0 {
+		s.relaunch()
+	}
+}
+
+// OnRepair implements sched.Scheduler: retry the active row's idle
+// members (killed or squeezed out while the machine was narrow) on the
+// recovered capacity; other rows wait for their turn as usual.
+func (s *Sched) OnRepair(int) {
+	if s.target < 0 && len(s.rows) > 0 {
+		s.relaunch()
+	}
+}
+
 // rotate switches to the next non-empty row, if any.
 func (s *Sched) rotate() {
 	if len(s.rows) < 2 {
@@ -179,22 +215,25 @@ func (s *Sched) rotate() {
 	s.launchActive()
 }
 
-// launchActive starts/resumes every job of the active row. The machine
-// is fully drained at this point, so exact-set resumes cannot fail and
-// fresh allocations cannot collide with other rows' remembered sets of
-// the *same* row.
+// launchActive grants the active row a fresh quantum and launches it.
 func (s *Sched) launchActive() {
 	s.activeSince = s.env.Now()
+	s.relaunch()
+}
+
+// relaunch starts/resumes every idle job of the active row without
+// granting a fresh quantum. Launches are best-effort: on the fully
+// drained machine of a no-fault run they cannot fail, but after a
+// processor failure the surviving machine may be narrower than the row
+// — a job that does not fit stays idle in its row and is retried on
+// the next repair, rotation, or failure event.
+func (s *Sched) relaunch() {
 	for _, q := range s.rows[s.active].jobs {
 		switch q.State {
 		case job.Suspended:
-			if !s.env.Resume(q) {
-				panic(fmt.Sprintf("gang: row resume failed for %v", q))
-			}
+			s.env.Resume(q)
 		case job.Queued:
-			if !s.env.StartFresh(q) {
-				panic(fmt.Sprintf("gang: row start failed for %v", q))
-			}
+			s.env.StartFresh(q)
 		}
 	}
 }

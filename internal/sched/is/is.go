@@ -69,6 +69,26 @@ func (s *Sched) OnSuspendDone(j *job.Job) {
 // OnTick implements sched.Scheduler.
 func (s *Sched) OnTick() { s.schedule() }
 
+// OnFailure implements sched.Scheduler: displaced jobs leave the running
+// list (their protected slice, if any, is forfeit) and rejoin the idle
+// queue; schedule() then serves them by instantaneous xfactor like any
+// other idle job, resuming the still-Suspended ones and restarting the
+// rest from scratch.
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	for _, j := range requeued {
+		s.running = sched.Remove(s.running, j)
+		delete(s.sliceEnd, j.ID)
+		if !sched.Contains(s.queue, j) {
+			s.queue = append(s.queue, j)
+		}
+	}
+	s.schedule()
+}
+
+// OnRepair implements sched.Scheduler: recovered capacity is offered to
+// the idle queue immediately.
+func (s *Sched) OnRepair(int) { s.schedule() }
+
 // protected reports whether v is inside its initial timeslice.
 func (s *Sched) protected(v *job.Job, now int64) bool {
 	end, ok := s.sliceEnd[v.ID]

@@ -18,14 +18,25 @@ type Event struct {
 	// Action is the audit-log action kind (ActArrive … ActKill), or
 	// ActTick for the periodic scheduler tick.
 	Action Action
-	// Job is the subject of the action; nil for ActTick.
+	// Job is the subject of the action; nil for ActTick and the
+	// processor-level ActProcFail/ActProcRepair.
 	Job *job.Job
 	// Procs is the job's processor set at the action (shared, do not
-	// retain); nil for arrivals and ticks.
+	// retain); nil for arrivals and ticks. For ActProcFail/ActProcRepair
+	// it holds the one affected processor.
 	Procs []int
 	// Busy is the number of processors owned by jobs after the action
 	// (Suspending jobs still hold theirs).
 	Busy int
+	// Up is the number of in-service processors after the action — the
+	// machine size minus failed processors. Always Procs-count without
+	// fault injection.
+	Up int
+	// LostWork is the compute seconds discarded by this action: set for
+	// failure-induced ActKill and for ActImageLost, zero otherwise
+	// (including speculative-backfilling kills, which only ever discard
+	// work the gamble knowingly risked).
+	LostWork int64
 	// Queued counts jobs that have arrived and hold no processors and
 	// no suspended image (state Queued).
 	Queued int
@@ -62,6 +73,12 @@ type Observer interface {
 // scan (O(jobs) for the max queued xfactor) runs only when a sink is
 // attached.
 func (e *Env) emit(act Action, j *job.Job, procs []int) {
+	e.emitLost(act, j, procs, 0)
+}
+
+// emitLost is emit with an explicit lost-work annotation, used by the
+// failure paths; the common emit wrapper passes zero.
+func (e *Env) emitLost(act Action, j *job.Job, procs []int, lost int64) {
 	if e.obs == nil {
 		return
 	}
@@ -80,6 +97,8 @@ func (e *Env) emit(act Action, j *job.Job, procs []int) {
 		Job:              j,
 		Procs:            procs,
 		Busy:             e.Cluster.Busy(),
+		Up:               e.Cluster.UpCount(),
+		LostWork:         lost,
 		Queued:           e.nQueued,
 		Running:          e.nRunning,
 		Suspended:        e.nSuspended,

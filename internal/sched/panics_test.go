@@ -11,6 +11,7 @@ import (
 // panicProbe is a scheduler that performs one illegal Env call inside
 // OnArrival so the driver's guard rails can be tested.
 type panicProbe struct {
+	sched.IgnoreFailures
 	env *sched.Env
 	do  func(env *sched.Env, j *job.Job)
 }

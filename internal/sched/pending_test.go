@@ -13,6 +13,7 @@ import (
 // from tests: it starts the first jobs directly and preempts both for
 // the last arrival.
 type scriptSched struct {
+	sched.IgnoreFailures
 	env     *sched.Env
 	started []*job.Job
 }

@@ -8,10 +8,12 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"pjs/internal/cluster"
+	"pjs/internal/fault"
 	"pjs/internal/job"
 	"pjs/internal/overhead"
 	"pjs/internal/sim"
@@ -41,7 +43,34 @@ type Scheduler interface {
 	// 0 disables ticks. The paper's preemption routine runs every
 	// minute.
 	TickInterval() int64
+	// OnFailure is called after processor p failed and the driver
+	// finished the mechanical fallout: the job running (or writing its
+	// suspension image) on p was killed back to the queue, suspended
+	// jobs whose remembered image sat on p were invalidated back to the
+	// queue, and pending preemptive starts claiming p were aborted.
+	// requeued lists every job the failure displaced, in deterministic
+	// order; each is Queued (restart from scratch) except aborted
+	// pending resumes whose image survives elsewhere, which stay
+	// Suspended. The policy must take these jobs back into its own
+	// bookkeeping — for a policy that tracks no per-job state, treating
+	// them like fresh arrivals is the correct default.
+	OnFailure(p int, requeued []*job.Job)
+	// OnRepair is called after processor p returned to service, so the
+	// policy can schedule onto the recovered capacity.
+	OnRepair(p int)
 }
+
+// IgnoreFailures is an embeddable no-op implementation of the failure
+// hooks for policies and test schedulers that never run under a fault
+// model. Embedding it under fault injection silently drops displaced
+// jobs — only use it when Options.Faults is unset.
+type IgnoreFailures struct{}
+
+// OnFailure implements Scheduler by ignoring the failure.
+func (IgnoreFailures) OnFailure(int, []*job.Job) {}
+
+// OnRepair implements Scheduler by ignoring the repair.
+func (IgnoreFailures) OnRepair(int) {}
 
 // Options configure a simulation run.
 type Options struct {
@@ -61,6 +90,10 @@ type Options struct {
 	// observation at zero cost: every emission site is nil-guarded and
 	// allocates nothing.
 	Observer Observer
+	// Faults configures deterministic processor fault injection. The
+	// zero value (the default) injects nothing and leaves the run
+	// byte-identical to a build without the fault subsystem.
+	Faults fault.Config
 }
 
 // Result is the outcome of one simulation run.
@@ -88,6 +121,15 @@ type Result struct {
 	Start, End int64
 	// Suspensions is the total number of preemptions performed.
 	Suspensions int
+	// Failures and Repairs count injected processor fail/repair events.
+	Failures, Repairs int
+	// FailKills counts running/suspending jobs killed by a processor
+	// failure; ImagesLost counts suspended jobs invalidated because
+	// their memory image sat on a failed processor.
+	FailKills, ImagesLost int
+	// LostWorkSeconds totals the compute seconds discarded by failure
+	// kills and stranded images.
+	LostWorkSeconds int64
 	// Audit is the action log if Options.Audit was set.
 	Audit *AuditLog
 }
@@ -95,11 +137,34 @@ type Result struct {
 // Makespan returns the simulated span in seconds.
 func (r *Result) Makespan() int64 { return r.End - r.Start }
 
+// ErrUnfinishable reports a run aborted because, under permanent
+// processor failures, an unfinished job is wider than the surviving
+// machine and could never be dispatched.
+var ErrUnfinishable = errors.New("sched: job wider than the surviving machine")
+
 // Run simulates trace t under policy s and returns the result. The
-// caller's trace is not mutated; jobs are cloned per run.
+// caller's trace is not mutated; jobs are cloned per run. Run panics on
+// the conditions RunChecked reports as errors — invalid trace, step
+// exhaustion, deadlock, unfinishable jobs; library callers that need to
+// degrade gracefully should call RunChecked instead.
 func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
+	res, err := RunChecked(t, s, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunChecked simulates trace t under policy s, returning an error —
+// never panicking — for the run-level failure modes: a trace that fails
+// validation, Options.MaxSteps exhaustion (errors.Is sim.ErrMaxSteps),
+// a scheduler that strands jobs (errors.Is sim.ErrDeadlock), and jobs
+// wider than the surviving machine under permanent fault injection
+// (errors.Is ErrUnfinishable). Simulator invariant violations still
+// panic — those are bugs, not run conditions.
+func RunChecked(t *workload.Trace, s Scheduler, opt Options) (*Result, error) {
 	if err := t.Validate(); err != nil {
-		panic(fmt.Sprintf("sched: invalid trace: %v", err))
+		return nil, fmt.Errorf("sched: invalid trace: %w", err)
 	}
 	oh := opt.Overhead
 	if oh == nil {
@@ -128,16 +193,33 @@ func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
 		env.engine.AddJob(j)
 		env.byID[j.ID] = j
 	}
+	if opt.Faults.Enabled() {
+		env.faults = fault.NewInjector(opt.Faults)
+		// Every processor's first failure is scheduled up front; repairs
+		// and subsequent failures chain one event at a time, so at most
+		// one fault event per processor is ever pending.
+		for p := 0; p < t.Procs; p++ {
+			env.engine.ScheduleProcFail(p, env.faults.FailDelay(p))
+		}
+	}
 	s.Init(env)
-	end := env.engine.Run()
+	end, err := env.engine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s on %s: %w", s.Name(), t.Name, err)
+	}
 
 	res := &Result{
-		Trace:     t.Name,
-		Scheduler: s.Name(),
-		Jobs:      jobs,
-		Start:     jobs[0].SubmitTime,
-		End:       end,
-		Audit:     env.Audit,
+		Trace:           t.Name,
+		Scheduler:       s.Name(),
+		Jobs:            jobs,
+		Start:           jobs[0].SubmitTime,
+		End:             end,
+		Failures:        env.failures,
+		Repairs:         env.repairs,
+		FailKills:       env.failKills,
+		ImagesLost:      env.imagesLost,
+		LostWorkSeconds: env.lostWork,
+		Audit:           env.Audit,
 	}
 	for _, j := range jobs {
 		if j.State != job.Finished {
@@ -150,7 +232,7 @@ func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
 		res.UtilizationLoaded = float64(env.busyAtLastArrival) /
 			float64(int64(t.Procs)*(env.lastArrival-res.Start))
 	}
-	return res
+	return res, nil
 }
 
 // Env is the execution environment handed to a policy: the cluster, the
@@ -168,6 +250,12 @@ type Env struct {
 	jobs    []*job.Job // all jobs of the run, submission order
 	pending []*pendingStart
 	obs     Observer
+	faults  *fault.Injector // nil without fault injection
+
+	// Failure tallies for the Result.
+	failures, repairs     int
+	failKills, imagesLost int
+	lostWork              int64
 
 	// Job-state census for observer snapshots, maintained on every
 	// transition (a handful of integer ops — cheap enough to keep
@@ -207,9 +295,11 @@ func (e *Env) IsPending(j *job.Job) bool {
 func (e *Env) PendingCount() int { return len(e.pending) }
 
 // StartFresh starts queued job j on any free processors if enough are
-// available right now; it reports whether the job was started.
+// available right now; it reports whether the job was started. A job is
+// Queued only when it holds no suspended image — including after a kill
+// or a processor-failure requeue — so a fresh placement is always legal.
 func (e *Env) StartFresh(j *job.Job) bool {
-	if j.State != job.Queued || j.Suspensions > 0 {
+	if j.State != job.Queued {
 		panic(fmt.Sprintf("sched: StartFresh on %v", j))
 	}
 	if e.Cluster.FreeUnclaimed() < j.Procs {
@@ -263,8 +353,11 @@ func (e *Env) dispatch(j *job.Job, readOH int64) {
 		e.nQueued--
 	}
 	e.nRunning++
+	// A dispatch out of Suspended is a resume; out of Queued it is a
+	// (re)start — even when the job was suspended in an earlier
+	// incarnation that a kill or processor failure discarded.
 	act := ActStart
-	if j.Suspensions > 0 {
+	if wasSuspended {
 		act = ActResume
 	}
 	if e.Audit != nil {
@@ -406,6 +499,158 @@ func (e *Env) HandleSuspendDone(j *job.Job) {
 	e.sched.OnSuspendDone(j)
 }
 
+// HandleProcFail implements sim.Handler: processor p fails. The driver
+// performs the mechanical fallout in a fixed order before the policy
+// reacts — (1) the cluster marks p down, (2) pending preemptive starts
+// claiming p are aborted, (3) the job owning p (Running or Suspending)
+// is killed back to the queue with its work discarded, (4) suspended
+// jobs whose remembered image sat on p are invalidated back to the
+// queue (the stranded-image cost of local restart), (5) the repair or,
+// under permanent failures, the unfinishable check is scheduled, and
+// finally the policy's OnFailure hook receives every displaced job.
+func (e *Env) HandleProcFail(p int) {
+	now := e.Now()
+	e.Cluster.Fail(now, p)
+	e.failures++
+	if e.Audit != nil {
+		e.Audit.addProc(now, ActProcFail, p)
+	}
+	if e.obs != nil {
+		e.emit(ActProcFail, nil, []int{p})
+	}
+
+	var requeued []*job.Job
+	// Abort pending starts whose claimed set includes p. The claim can
+	// never be satisfied while p is down (ClaimReady refuses down
+	// processors), and after a repair the machine state has moved on —
+	// the policy re-decides. A pending job that was Suspended keeps its
+	// image (invalidated below only if the image itself sat on p).
+	kept := e.pending[:0]
+	for _, ps := range e.pending {
+		if !containsProc(ps.claim, p) {
+			kept = append(kept, ps)
+			continue
+		}
+		e.Cluster.Unclaim(ps.j.ID, ps.claim)
+		requeued = append(requeued, ps.j)
+	}
+	e.pending = kept
+
+	// Kill the job computing (or writing its suspension image) on p.
+	if id := e.Cluster.Owner(p); id != -1 {
+		v := e.byID[id]
+		set := v.ProcSet
+		wasSuspending := v.State == job.Suspending
+		lost := v.Fail(now)
+		e.Cluster.Release(now, v.ID, set)
+		if wasSuspending {
+			e.nSuspended--
+		} else {
+			e.nRunning--
+		}
+		e.nQueued++
+		e.failKills++
+		e.lostWork += lost
+		if e.Audit != nil {
+			e.Audit.add(now, ActKill, v, set)
+		}
+		if e.obs != nil {
+			e.emitLost(ActKill, v, set, lost)
+		}
+		requeued = append(requeued, v)
+	}
+
+	// Invalidate suspended jobs whose memory image sat on p: local
+	// restart needs the exact remembered set, and the image on p's disk
+	// is gone, so the job restarts from scratch.
+	for _, j := range e.jobs {
+		if j.State != job.Suspended || !containsProc(j.ProcSet, p) {
+			continue
+		}
+		set := j.ProcSet
+		lost := j.Fail(now)
+		j.ProcSet = nil
+		e.nSuspended--
+		e.nQueued++
+		e.imagesLost++
+		e.lostWork += lost
+		if e.Audit != nil {
+			e.Audit.add(now, ActImageLost, j, set)
+		}
+		if e.obs != nil {
+			e.emitLost(ActImageLost, j, set, lost)
+		}
+		requeued = append(requeued, j)
+	}
+	requeued = dedupeJobs(requeued)
+
+	if e.faults.Permanent() {
+		// The machine never recovers: a job wider than the survivors can
+		// never be dispatched, so degrade with an error instead of
+		// spinning until MaxSteps.
+		up := e.Cluster.UpCount()
+		for _, j := range e.jobs {
+			if j.State != job.Finished && j.Procs > up {
+				e.engine.Abort(fmt.Errorf("%w: %v needs %d of %d surviving processors",
+					ErrUnfinishable, j, j.Procs, up))
+				break
+			}
+		}
+	} else {
+		e.engine.ScheduleProcRepair(p, now+e.faults.RepairDelay(p))
+	}
+	// The kills above released processors; pending starts not touching
+	// p may have become ready.
+	e.activatePending()
+	e.sched.OnFailure(p, requeued)
+}
+
+// HandleProcRepair implements sim.Handler: processor p returns to
+// service and its next failure is scheduled.
+func (e *Env) HandleProcRepair(p int) {
+	now := e.Now()
+	e.Cluster.Repair(now, p)
+	e.repairs++
+	if e.Audit != nil {
+		e.Audit.addProc(now, ActProcRepair, p)
+	}
+	if e.obs != nil {
+		e.emit(ActProcRepair, nil, []int{p})
+	}
+	e.engine.ScheduleProcFail(p, now+e.faults.FailDelay(p))
+	e.sched.OnRepair(p)
+}
+
+// containsProc reports whether set includes p.
+func containsProc(set []int, p int) bool {
+	for _, q := range set {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupeJobs removes duplicate jobs preserving first-seen order (a
+// suspended job can be displaced both as an aborted pending start and
+// as a stranded image in the same failure).
+func dedupeJobs(jobs []*job.Job) []*job.Job {
+	out := jobs[:0]
+	for _, j := range jobs {
+		dup := false
+		for _, k := range out {
+			if k == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
 // HandleTick implements sim.Handler. The tick heartbeat is emitted
 // before the policy reacts, so time-series sinks sample the state the
 // preemption routine is about to act on.
@@ -429,6 +674,17 @@ func SortByXFactor(jobs []*job.Job, now int64) {
 		}
 		return jobs[i].ID < jobs[k].ID
 	})
+}
+
+// Contains reports whether queue holds j — used by failure hooks to
+// requeue displaced jobs without duplicating ones already tracked.
+func Contains(queue []*job.Job, j *job.Job) bool {
+	for _, q := range queue {
+		if q == j {
+			return true
+		}
+	}
+	return false
 }
 
 // Remove deletes j from queue, preserving order, and returns the

@@ -83,6 +83,25 @@ func (s *Sched) OnTick() {
 	s.schedule()
 }
 
+// OnFailure implements sched.Scheduler: a failure-killed job rejoins
+// the queue at its submission-order position; any speculative deadline
+// dies with the run (the kill was the machine's, not a lost gamble —
+// Kills is not charged, see Env.HandleProcFail).
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	for _, j := range requeued {
+		s.running = sched.Remove(s.running, j)
+		delete(s.deadline, j.ID)
+		if !sched.Contains(s.queue, j) {
+			s.enqueue(j)
+		}
+	}
+	s.schedule()
+}
+
+// OnRepair implements sched.Scheduler: recovered capacity may admit the
+// head or open new (speculative) holes.
+func (s *Sched) OnRepair(int) { s.schedule() }
+
 // enqueue inserts j in submit-time order (killed jobs keep their
 // original queue position).
 func (s *Sched) enqueue(j *job.Job) {
@@ -206,7 +225,10 @@ func (s *Sched) shadow(head *job.Job) (shadowTime int64, extraNodes int) {
 		shadowTime = r.end
 	}
 	if free < head.Procs {
-		panic("speculative: head cannot ever fit")
+		// Failures can leave the head wider than the surviving machine;
+		// treat the last release as the shadow with no extra nodes (see
+		// the same tolerance in easy.shadow).
+		return shadowTime, 0
 	}
 	return shadowTime, free - head.Procs
 }

@@ -132,6 +132,25 @@ func (s *Sched) OnTick() {
 	s.schedulePass()
 }
 
+// OnFailure implements sched.Scheduler: displaced jobs (killed victims,
+// stranded images, aborted pending starts) rejoin the idle queue and
+// compete again by xfactor; their restarted wait pushes the xfactor up,
+// so SS naturally re-serves the most-hurt jobs first.
+func (s *Sched) OnFailure(p int, requeued []*job.Job) {
+	for _, j := range requeued {
+		s.running = sched.Remove(s.running, j)
+		if !sched.Contains(s.queue, j) {
+			s.queue = append(s.queue, j)
+		}
+	}
+	s.schedulePass()
+}
+
+// OnRepair implements sched.Scheduler: recovered capacity is offered to
+// the idle queue immediately; the next tick's preemption routine sees
+// it too.
+func (s *Sched) OnRepair(int) { s.schedulePass() }
+
 // schedulePass is the reservation-free backfilling step: idle jobs are
 // scanned in descending xfactor and started whenever they fit without
 // preemption — fresh jobs on any free processors, suspended jobs on

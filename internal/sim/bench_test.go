@@ -37,6 +37,8 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		for id := 1; id <= 1000; id++ {
 			e.AddJob(newTestJob(id, int64(id)*10, 5))
 		}
-		e.Run()
+		if _, err := e.Run(); err != nil {
+			b.Fatalf("Run: %v", err)
+		}
 	}
 }

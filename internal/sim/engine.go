@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"pjs/internal/job"
@@ -13,7 +14,9 @@ import (
 
 // Kind discriminates event types. The numeric order doubles as the
 // processing priority for events with equal timestamps: completions free
-// processors before arrivals and ticks observe them.
+// processors before arrivals and ticks observe them, and processor
+// fail/repair transitions land after job releases at the same instant
+// but before new arrivals see the machine.
 type Kind int
 
 const (
@@ -22,6 +25,10 @@ const (
 	// SuspendDone fires when a suspending job's memory image write
 	// finishes and its processors are released.
 	SuspendDone
+	// ProcFail fires when a processor fails (fault injection).
+	ProcFail
+	// ProcRepair fires when a failed processor returns to service.
+	ProcRepair
 	// Arrival fires when a job is submitted.
 	Arrival
 	// Tick fires periodically to run the scheduler's preemption routine.
@@ -35,6 +42,10 @@ func (k Kind) String() string {
 		return "completion"
 	case SuspendDone:
 		return "suspend-done"
+	case ProcFail:
+		return "proc-fail"
+	case ProcRepair:
+		return "proc-repair"
 	case Arrival:
 		return "arrival"
 	case Tick:
@@ -43,14 +54,26 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// Run failure modes, returned (wrapped) by Run. Internal invariant
+// violations — scheduling into the past, time moving backwards — still
+// panic: they are simulator bugs, not run conditions.
+var (
+	// ErrDeadlock: the event queue drained with unfinished jobs left.
+	ErrDeadlock = errors.New("sim: deadlock, no pending events but unfinished jobs remain")
+	// ErrMaxSteps: the SetMaxSteps safety valve tripped (livelock?).
+	ErrMaxSteps = errors.New("sim: step limit exceeded")
+)
+
 // Event is a scheduled occurrence. Job events carry the job's Epoch at
 // scheduling time; if the job's epoch has moved on (it was preempted or
-// resumed), the event is stale and silently dropped.
+// resumed), the event is stale and silently dropped. ProcFail/ProcRepair
+// events carry the processor index instead of a job.
 type Event struct {
 	Time  int64
 	Kind  Kind
 	Job   *job.Job
 	Epoch int
+	Proc  int   // processor index for ProcFail/ProcRepair
 	seq   int64 // insertion order, final tie-break for determinism
 }
 
@@ -63,6 +86,10 @@ type Handler interface {
 	HandleCompletion(j *job.Job)
 	// HandleSuspendDone is called when j's suspension write completes.
 	HandleSuspendDone(j *job.Job)
+	// HandleProcFail is called when processor p fails.
+	HandleProcFail(p int)
+	// HandleProcRepair is called when processor p returns to service.
+	HandleProcRepair(p int)
 	// HandleTick is called every TickInterval seconds while the
 	// simulation has unfinished jobs, if the interval is non-zero.
 	HandleTick()
@@ -80,6 +107,7 @@ type Engine struct {
 	finishedJobs int
 	steps        int64
 	maxSteps     int64
+	abortErr     error
 }
 
 // New returns an engine delivering events to h. tickInterval of 0
@@ -94,9 +122,19 @@ func (e *Engine) Now() int64 { return e.now }
 // Steps returns the number of events processed so far.
 func (e *Engine) Steps() int64 { return e.steps }
 
-// SetMaxSteps installs a safety valve: Run panics after n events. Zero
-// (the default) means no limit. Used by tests to catch livelock bugs.
+// SetMaxSteps installs a safety valve: Run returns ErrMaxSteps after n
+// events. Zero (the default) means no limit. Used to catch livelocks.
 func (e *Engine) SetMaxSteps(n int64) { e.maxSteps = n }
+
+// Abort requests that Run stop with the given error after the current
+// handler returns. Handlers call it when they detect an unrecoverable
+// run condition (e.g. a job wider than the surviving machine under
+// permanent failures). A nil err is ignored; the first abort wins.
+func (e *Engine) Abort(err error) {
+	if err != nil && e.abortErr == nil {
+		e.abortErr = err
+	}
+}
 
 // AddJob schedules the arrival of j. All jobs must be added before Run.
 func (e *Engine) AddJob(j *job.Job) {
@@ -122,6 +160,22 @@ func (e *Engine) ScheduleSuspendDone(j *job.Job, at int64) {
 	e.push(&Event{Time: at, Kind: SuspendDone, Job: j, Epoch: j.Epoch})
 }
 
+// ScheduleProcFail schedules the failure of processor p at time at.
+func (e *Engine) ScheduleProcFail(p int, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: proc-fail for %d scheduled in the past (%d < %d)", p, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: ProcFail, Proc: p})
+}
+
+// ScheduleProcRepair schedules the repair of processor p at time at.
+func (e *Engine) ScheduleProcRepair(p int, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: proc-repair for %d scheduled in the past (%d < %d)", p, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: ProcRepair, Proc: p})
+}
+
 // JobFinished must be called by the handler once per job, from
 // HandleCompletion; Run returns when every added job has finished.
 func (e *Engine) JobFinished() { e.finishedJobs++ }
@@ -144,17 +198,20 @@ func stale(ev *Event) bool {
 	return false
 }
 
-// Run processes events until all jobs have finished. It returns the
-// finish time of the last job (the makespan end).
-func (e *Engine) Run() int64 {
+// Run processes events until all jobs have finished and returns the
+// finish time of the last job (the makespan end). It fails with a
+// wrapped ErrDeadlock when the queue drains early, a wrapped
+// ErrMaxSteps when the safety valve trips, or the handler's Abort
+// error; on error the returned time is the time reached so far.
+func (e *Engine) Run() (int64, error) {
 	if e.tickInterval > 0 && e.heap.len() > 0 {
 		e.nextTick = e.heap.min().Time + e.tickInterval
 		e.push(&Event{Time: e.nextTick, Kind: Tick})
 	}
 	for e.finishedJobs < e.totalJobs {
 		if e.heap.len() == 0 {
-			panic(fmt.Sprintf("sim: deadlock at t=%d with %d/%d jobs finished",
-				e.now, e.finishedJobs, e.totalJobs))
+			return e.now, fmt.Errorf("%w at t=%d with %d/%d jobs finished",
+				ErrDeadlock, e.now, e.finishedJobs, e.totalJobs)
 		}
 		ev := e.heap.pop()
 		if ev.Time < e.now {
@@ -163,7 +220,8 @@ func (e *Engine) Run() int64 {
 		e.now = ev.Time
 		e.steps++
 		if e.maxSteps > 0 && e.steps > e.maxSteps {
-			panic(fmt.Sprintf("sim: exceeded %d steps at t=%d (livelock?)", e.maxSteps, e.now))
+			return e.now, fmt.Errorf("%w: %d steps at t=%d (livelock?)",
+				ErrMaxSteps, e.maxSteps, e.now)
 		}
 		switch ev.Kind {
 		case Arrival:
@@ -176,6 +234,10 @@ func (e *Engine) Run() int64 {
 			if !stale(ev) {
 				e.handler.HandleSuspendDone(ev.Job)
 			}
+		case ProcFail:
+			e.handler.HandleProcFail(ev.Proc)
+		case ProcRepair:
+			e.handler.HandleProcRepair(ev.Proc)
 		case Tick:
 			if e.finishedJobs < e.totalJobs {
 				e.handler.HandleTick()
@@ -183,6 +245,9 @@ func (e *Engine) Run() int64 {
 				e.push(&Event{Time: e.nextTick, Kind: Tick})
 			}
 		}
+		if e.abortErr != nil {
+			return e.now, e.abortErr
+		}
 	}
-	return e.now
+	return e.now, nil
 }

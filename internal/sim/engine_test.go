@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -33,6 +35,9 @@ func (h *recordingHandler) HandleSuspendDone(j *job.Job) {
 	h.events = append(h.events, "suspend-done")
 }
 
+func (h *recordingHandler) HandleProcFail(p int)   { h.events = append(h.events, "fail") }
+func (h *recordingHandler) HandleProcRepair(p int) { h.events = append(h.events, "repair") }
+
 func (h *recordingHandler) HandleTick() { h.ticks++ }
 
 func TestEngineRunsJobsToCompletion(t *testing.T) {
@@ -43,7 +48,10 @@ func TestEngineRunsJobsToCompletion(t *testing.T) {
 	j2 := job.New(2, 50, 10, 10, 1)
 	e.AddJob(j1)
 	e.AddJob(j2)
-	end := e.Run()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if end != 100 {
 		t.Errorf("end = %d, want 100", end)
 	}
@@ -58,7 +66,9 @@ func TestCompletionBeforeArrivalAtSameInstant(t *testing.T) {
 	h.eng = e
 	e.AddJob(job.New(1, 0, 100, 100, 1)) // completes at 100
 	e.AddJob(job.New(2, 100, 10, 10, 1)) // arrives at 100
-	e.Run()
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	want := []string{"arrive", "complete", "arrive", "complete"}
 	if len(h.events) != len(want) {
 		t.Fatalf("events = %v", h.events)
@@ -75,7 +85,9 @@ func TestTicksFireAtInterval(t *testing.T) {
 	e := New(h, 60)
 	h.eng = e
 	e.AddJob(job.New(1, 0, 600, 600, 1))
-	e.Run()
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	// Ticks at 60,120,...,600; the tick at 600 is not delivered because
 	// the completion (same time, lower kind) finishes the run first.
 	if h.ticks != 9 {
@@ -88,7 +100,9 @@ func TestNoTicksWhenDisabled(t *testing.T) {
 	e := New(h, 0)
 	h.eng = e
 	e.AddJob(job.New(1, 0, 600, 600, 1))
-	e.Run()
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if h.ticks != 0 {
 		t.Errorf("ticks = %d, want 0", h.ticks)
 	}
@@ -120,7 +134,9 @@ func (h *staleHandler) HandleSuspendDone(j *job.Job) {
 	h.eng.ScheduleCompletion(j, done)
 }
 
-func (h *staleHandler) HandleTick() {}
+func (h *staleHandler) HandleProcFail(p int)   {}
+func (h *staleHandler) HandleProcRepair(p int) {}
+func (h *staleHandler) HandleTick()            {}
 
 func TestStaleCompletionDropped(t *testing.T) {
 	h := &staleHandler{}
@@ -128,7 +144,10 @@ func TestStaleCompletionDropped(t *testing.T) {
 	h.eng = e
 	j := job.New(1, 0, 100, 100, 1)
 	e.AddJob(j)
-	end := e.Run()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if h.completions != 1 {
 		t.Errorf("completions = %d, want exactly 1 (stale dropped)", h.completions)
 	}
@@ -150,18 +169,88 @@ func TestScheduleInPastPanics(t *testing.T) {
 	e.ScheduleCompletion(job.New(1, 0, 10, 10, 1), 50)
 }
 
-func TestMaxStepsPanics(t *testing.T) {
+func TestMaxStepsReturnsError(t *testing.T) {
 	h := &recordingHandler{}
 	e := New(h, 1) // tick every second, forever-ish
 	h.eng = e
 	e.AddJob(job.New(1, 0, 1000, 1000, 1))
 	e.SetMaxSteps(10)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic after max steps")
-		}
-	}()
-	e.Run()
+	if _, err := e.Run(); !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("Run error = %v, want ErrMaxSteps", err)
+	}
+}
+
+// dropHandler ignores arrivals, so the queue drains with the job
+// unfinished: Run must report a deadlock instead of looping or lying.
+type dropHandler struct{}
+
+func (dropHandler) HandleArrival(*job.Job)     {}
+func (dropHandler) HandleCompletion(*job.Job)  {}
+func (dropHandler) HandleSuspendDone(*job.Job) {}
+func (dropHandler) HandleProcFail(int)         {}
+func (dropHandler) HandleProcRepair(int)       {}
+func (dropHandler) HandleTick()                {}
+
+func TestDeadlockReturnsError(t *testing.T) {
+	e := New(dropHandler{}, 0)
+	e.AddJob(job.New(1, 0, 100, 100, 1))
+	if _, err := e.Run(); !errors.Is(err, ErrDeadlock) {
+		t.Errorf("Run error = %v, want ErrDeadlock", err)
+	}
+}
+
+// abortHandler aborts the run from inside the first arrival.
+type abortHandler struct {
+	eng *Engine
+	err error
+}
+
+func (h *abortHandler) HandleArrival(*job.Job)     { h.eng.Abort(h.err) }
+func (h *abortHandler) HandleCompletion(*job.Job)  {}
+func (h *abortHandler) HandleSuspendDone(*job.Job) {}
+func (h *abortHandler) HandleProcFail(int)         {}
+func (h *abortHandler) HandleProcRepair(int)       {}
+func (h *abortHandler) HandleTick()                {}
+
+func TestAbortStopsRunWithError(t *testing.T) {
+	want := errors.New("unfinishable")
+	h := &abortHandler{err: want}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 100, 100, 1))
+	if _, err := e.Run(); !errors.Is(err, want) {
+		t.Errorf("Run error = %v, want %v", err, want)
+	}
+}
+
+// faultHandler records fail/repair deliveries with their times.
+type faultHandler struct {
+	recordingHandler
+	faults []string
+}
+
+func (h *faultHandler) HandleProcFail(p int) {
+	h.faults = append(h.faults, fmt.Sprintf("fail:%d@%d", p, h.eng.Now()))
+}
+
+func (h *faultHandler) HandleProcRepair(p int) {
+	h.faults = append(h.faults, fmt.Sprintf("repair:%d@%d", p, h.eng.Now()))
+}
+
+func TestProcFailRepairDelivery(t *testing.T) {
+	h := &faultHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 100, 100, 1))
+	e.ScheduleProcFail(3, 10)
+	e.ScheduleProcRepair(3, 20)
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"fail:3@10", "repair:3@20"}
+	if len(h.faults) != len(want) || h.faults[0] != want[0] || h.faults[1] != want[1] {
+		t.Errorf("faults = %v, want %v", h.faults, want)
+	}
 }
 
 func TestHeapOrdering(t *testing.T) {
@@ -190,9 +279,11 @@ func TestHeapTieBreakByKindThenSeq(t *testing.T) {
 	// Same time, different kinds, inserted in reverse priority order.
 	e.push(&Event{Time: 10, Kind: Tick})
 	e.push(&Event{Time: 10, Kind: Arrival})
+	e.push(&Event{Time: 10, Kind: ProcRepair})
+	e.push(&Event{Time: 10, Kind: ProcFail})
 	e.push(&Event{Time: 10, Kind: SuspendDone})
 	e.push(&Event{Time: 10, Kind: Completion})
-	want := []Kind{Completion, SuspendDone, Arrival, Tick}
+	want := []Kind{Completion, SuspendDone, ProcFail, ProcRepair, Arrival, Tick}
 	for i, k := range want {
 		if got := e.heap.pop().Kind; got != k {
 			t.Fatalf("pop %d = %v, want %v", i, got, k)
@@ -229,6 +320,7 @@ func TestHeapSortProperty(t *testing.T) {
 func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		Completion: "completion", SuspendDone: "suspend-done",
+		ProcFail: "proc-fail", ProcRepair: "proc-repair",
 		Arrival: "arrival", Tick: "tick",
 	}
 	for k, w := range names {

@@ -16,6 +16,16 @@ func FuzzReadSWF(f *testing.F) {
 	f.Add(";\n; Computer:\n")
 	f.Add("1 2 3\n")
 	f.Add("1 0 -1 1e9 2 -1 -1 2 1e18 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	// Hardening corpus: truncated records, CRLF endings, comment-only
+	// files, and the non-finite / out-of-range / negative-time values
+	// the reader must reject instead of converting unsoundly.
+	f.Add("1 0 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n2 30 -1 10\n")
+	f.Add("; MaxProcs: 4\r\n1 0 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\r\n")
+	f.Add(";\n; Computer: X\n\n; UnixStartTime: 0\n")
+	f.Add("1 NaN -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("1 +Inf -1 -Inf 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("1 -30 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("1 0 -1 10 2 -1 1125899906842624 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := ReadSWF(strings.NewReader(input), "fuzz")
 		if err != nil {

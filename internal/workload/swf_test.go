@@ -66,6 +66,64 @@ func TestReadSWFRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadSWFMalformedRecords table-drives the hardened error paths:
+// every malformed record must come back as a wrapped error naming the
+// trace and the 1-based line number, never a silent misparse (the old
+// int64(NaN) conversion was undefined behavior) and never a panic.
+func TestReadSWFMalformedRecords(t *testing.T) {
+	const good = "1 0 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"truncated record", good + "2 30 -1 10\n", "bad:2: 4 fields, want 18"},
+		{"non-numeric field", good + "2 30 -1 zz 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n", "bad:2: field 3"},
+		{"NaN field", good + "2 NaN -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n", "bad:2: field 1"},
+		{"infinite field", good + "2 +Inf -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n", "bad:2: field 1"},
+		{"beyond 2^53", good + "2 1e300 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n", "outside ±2^53"},
+		{"negative submit", good + "2 -30 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n", "bad:2: negative submit time -30"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSWF(strings.NewReader(tc.src), "bad")
+			if err == nil {
+				t.Fatal("malformed record accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadSWFBenignVariants pins inputs the reader must tolerate:
+// CRLF line endings, comment-only files, blank lines, and oversized
+// memory fields (clamped out rather than overflowed into negatives).
+func TestReadSWFBenignVariants(t *testing.T) {
+	crlf := "; MaxProcs: 4\r\n1 0 -1 10 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\r\n"
+	tr, err := ReadSWF(strings.NewReader(crlf), "crlf")
+	if err != nil || len(tr.Jobs) != 1 || tr.Procs != 4 {
+		t.Errorf("CRLF input: err=%v jobs=%d procs=%d", err, len(tr.Jobs), tr.Procs)
+	}
+
+	comments := ";\n; Computer: X\n\n; UnixStartTime: 0\n"
+	tr, err = ReadSWF(strings.NewReader(comments), "c")
+	if err != nil || len(tr.Jobs) != 0 {
+		t.Errorf("comment-only input: err=%v jobs=%d", err, len(tr.Jobs))
+	}
+
+	// Memory of 2^50 KB would shift past int64 bytes; it must be dropped.
+	bigMem := "1 0 -1 10 2 -1 1125899906842624 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	tr, err = ReadSWF(strings.NewReader(bigMem), "mem")
+	if err != nil || len(tr.Jobs) != 1 {
+		t.Fatalf("big-mem input: err=%v jobs=%d", err, len(tr.Jobs))
+	}
+	if tr.Jobs[0].MemPerProc != 0 {
+		t.Errorf("MemPerProc = %d, want 0 (implausible value dropped)", tr.Jobs[0].MemPerProc)
+	}
+}
+
 func TestReadSWFSortsBySubmit(t *testing.T) {
 	src := `2 100 -1 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1
 1 50 -1 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1

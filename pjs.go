@@ -43,6 +43,7 @@ import (
 
 	"pjs/internal/core"
 	"pjs/internal/experiment"
+	"pjs/internal/fault"
 	"pjs/internal/job"
 	"pjs/internal/metrics"
 	"pjs/internal/overhead"
@@ -134,8 +135,22 @@ const (
 // model (memory image to local disk at 2 MB/s per processor).
 func DiskOverhead() Options { return Options{Overhead: overhead.Disk{}} }
 
-// Simulate runs trace t under policy s.
+// FaultConfig parameterizes deterministic processor fault injection
+// (Options.Faults): exponential fail/repair processes with the given
+// mean times, drawn from per-processor seeded streams. The zero value
+// disables injection.
+type FaultConfig = fault.Config
+
+// Simulate runs trace t under policy s. It panics on malformed input or
+// an unfinishable run; use SimulateChecked to get an error instead.
 func Simulate(t *Trace, s Scheduler, opt Options) *Result { return sched.Run(t, s, opt) }
+
+// SimulateChecked runs trace t under policy s, returning an error for
+// invalid traces, step-limit exhaustion, or a fault-injection outage
+// that leaves a job permanently unfinishable (sched.ErrUnfinishable).
+func SimulateChecked(t *Trace, s Scheduler, opt Options) (*Result, error) {
+	return sched.RunChecked(t, s, opt)
+}
 
 // Summarize computes the paper's metrics from a run.
 func Summarize(r *Result, f Filter) *Summary { return metrics.FromResult(r, f) }
