@@ -8,52 +8,86 @@
 //
 //	pjslint ./...              # whole module (the default)
 //	pjslint ./internal/sched   # one subtree
+//	pjslint -json ./...        # one JSON object per finding, one per line
 //	pjslint -list              # describe the checks and exit
 //
-// Findings print as file:line:col: pjslint/<check>: message. A finding
-// can be suppressed at one site with a justified directive on the same
-// line or the line above:
+// Findings print as file:line:col: pjslint/<check>: message, or with
+// -json as {"file":...,"line":...,"col":...,"check":...,"message":...}
+// — one object per line, sorted by position, byte-identical across
+// runs, which is what the CI problem matcher and the determinism
+// regression test consume. A finding can be suppressed at one site with
+// a justified directive on the same line or the line above:
 //
 //	//lint:ignore pjslint/<check> <reason>
+//
+// Exit status: 0 clean, 1 findings (or lost stdout), 2 usage/load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"pjs/internal/cli"
 	"pjs/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "describe the registered checks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire form of one finding. Paths are module
+// relative so output does not depend on the checkout location.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	stdout := cli.Wrap(stdoutW)
+	stderr := cli.Wrap(stderrW)
+
+	fs := flag.NewFlagSet("pjslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the registered checks and exit")
+	asJSON := fs.Bool("json", false, "emit one JSON diagnostic object per line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, c := range lint.AllChecks() {
-			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+			stdout.Printf("%-12s %s\n", c.Name(), c.Doc())
 		}
-		return
+		return cli.Exit("pjslint", 0, stdout, stderr)
 	}
 
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
-		fatal(err)
+		stderr.Println("pjslint:", err)
+		return 2
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		stderr.Println("pjslint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	paths, err := expand(loader, patterns)
 	if err != nil {
-		fatal(err)
+		stderr.Println("pjslint:", err)
+		return 2
 	}
 
 	checks := lint.AllChecks()
@@ -61,17 +95,35 @@ func main() {
 	for _, path := range paths {
 		p, err := loader.Load(path)
 		if err != nil {
-			fatal(err)
+			stderr.Println("pjslint:", err)
+			return 2
 		}
 		for _, d := range lint.Run(p, checks) {
-			fmt.Println(rel(root, d))
 			findings++
+			if *asJSON {
+				line, err := json.Marshal(jsonDiag{
+					File:    relPath(root, d.Pos.Filename),
+					Line:    d.Pos.Line,
+					Col:     d.Pos.Column,
+					Check:   d.Check,
+					Message: d.Message,
+				})
+				if err != nil {
+					stderr.Println("pjslint:", err)
+					return 2
+				}
+				stdout.Println(string(line))
+				continue
+			}
+			stdout.Println(rel(root, d))
 		}
 	}
+	code := 0
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "pjslint: %d finding(s)\n", findings)
-		os.Exit(1)
+		stderr.Printf("pjslint: %d finding(s)\n", findings)
+		code = 1
 	}
+	return cli.Exit("pjslint", code, stdout, stderr)
 }
 
 // expand resolves package patterns ("./...", "dir/...", "dir") into
@@ -124,16 +176,17 @@ func expand(l *lint.Loader, patterns []string) ([]string, error) {
 	return out, nil
 }
 
-// rel shortens absolute diagnostic paths to module-relative ones.
-func rel(root string, d lint.Diagnostic) string {
-	s := d.String()
-	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		s = fmt.Sprintf("%s:%d:%d: pjslint/%s: %s", r, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+// relPath shortens an absolute diagnostic path to a module-relative one
+// when possible.
+func relPath(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
 	}
-	return s
+	return path
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pjslint:", err)
-	os.Exit(2)
+// rel renders a diagnostic with a module-relative path.
+func rel(root string, d lint.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d: pjslint/%s: %s",
+		relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONDeterminism is the tier-1 determinism satellite for the
+// driver itself: two -json runs over the same sources must be
+// byte-identical — diagnostics sorted by position, module-relative
+// paths, no map order anywhere in the pipeline.
+func TestJSONDeterminism(t *testing.T) {
+	args := []string{"-json", "../../internal/lint/testdata/src/detrand"}
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("run %d: want exit 1 (findings), got %d (stderr: %s)", i, code, stderr.String())
+		}
+		if i == 0 {
+			first = stdout.String()
+			continue
+		}
+		if stdout.String() != first {
+			t.Errorf("JSON output differs between runs:\n--- first ---\n%s--- second ---\n%s",
+				first, stdout.String())
+		}
+	}
+	// Every line must be a well-formed diagnostic object.
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		var d struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Check == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+		if strings.HasPrefix(d.File, "/") {
+			t.Errorf("diagnostic path not module-relative: %q", d.File)
+		}
+	}
+}
+
+// TestListMode describes every registered check and exits clean.
+func TestListMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0, got %d", code)
+	}
+	for _, name := range []string{
+		"wallclock", "detrand", "stablesort", "maporder", "errwrite",
+		"exhaustive", "actparity", "globalmut", "staleignore",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing check %q", name)
+		}
+	}
+}
+
+// TestBadPattern rejects paths outside the module with exit 2.
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"/"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2, got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "outside module") {
+		t.Errorf("stderr should explain the rejection: %s", stderr.String())
+	}
+}
+
+// TestCleanPackage exits 0 with no output on a clean package.
+func TestCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"../../internal/cli"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced output: %s", stdout.String())
+	}
+}

@@ -89,8 +89,7 @@ func Check(log *sched.AuditLog, opt Options) error {
 		}
 		// Processor-level entries carry no job; handle them before the
 		// job-track lookup so JobID -1 never creates a phantom track.
-		switch e.Action {
-		case sched.ActProcFail, sched.ActProcRepair:
+		if e.Action == sched.ActProcFail || e.Action == sched.ActProcRepair {
 			if len(e.Procs) != 1 {
 				return fail("processor event with %d processors", len(e.Procs))
 			}

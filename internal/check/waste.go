@@ -120,6 +120,21 @@ func Waste(log *sched.AuditLog, until int64) (WasteReport, error) {
 			if e.Width < minQueued {
 				minQueued = e.Width
 			}
+		case sched.ActImageLost:
+			// A suspended job's image sat on a failed processor: the job
+			// is requeued as never-started. It held no processors (the
+			// suspend already released them), so busy is unchanged, but
+			// its width re-enters the queued profile for the
+			// violation-window accounting.
+			started[e.JobID] = false
+			queuedWidths[e.Width]++
+			if e.Width < minQueued {
+				minQueued = e.Width
+			}
+		case sched.ActSuspendBegin, sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+			// No occupancy or queue change: a suspending job still holds
+			// its processors until ActSuspendDone, and processor/tick
+			// entries carry no job.
 		}
 	}
 	account(until)

@@ -70,6 +70,11 @@ func Render(log *sched.AuditLog, opt Options) string {
 				timelines[p] = append(timelines[p], change{e.Time, -1})
 			}
 			busySeconds[e.JobID] += (e.Time - lastOwn[e.JobID]) * int64(len(e.Procs))
+		case sched.ActArrive, sched.ActSuspendBegin, sched.ActImageLost,
+			sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+			// No ownership change: arrivals hold nothing, a suspending
+			// job keeps its processors until ActSuspendDone, a lost
+			// image held none, and processor/tick entries carry no job.
 		}
 	}
 

@@ -55,9 +55,10 @@ func (l Length) Range() (lo, hi int64) {
 		return VeryShortMax, ShortMax
 	case Long:
 		return ShortMax, LongMax
-	default:
+	case VeryLong:
 		return LongMax, -1
 	}
+	return LongMax, -1
 }
 
 // Width is the processor-count class of a job (Table I columns).
@@ -103,9 +104,10 @@ func (w Width) Range() (lo, hi int) {
 		return 2, NarrowMax
 	case Wide:
 		return NarrowMax + 1, WideMax
-	default:
+	case VeryWide:
 		return WideMax + 1, -1
 	}
+	return WideMax + 1, -1
 }
 
 // Category is one cell of the paper's 16-way classification (Table I).

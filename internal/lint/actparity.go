@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ActparityCheck enforces structural parity for the audit-action enum:
+// every `Action` constant declared in pjs/internal/sched must be
+//
+//   - replayed by the invariant checker (used somewhere in
+//     pjs/internal/check),
+//   - mapped to a counter (used inside a Counters method in
+//     pjs/internal/obs), and
+//   - mapped to a trace slice (used inside a TraceBuilder method in
+//     pjs/internal/obs).
+//
+// PRs 2–3 grew the action set twice (ImageLost, ProcFail/ProcRepair);
+// each time the checker, counters and Perfetto builder had to be updated
+// by hand in lockstep, and nothing failed if one of the three was
+// forgotten. This check walks the enum via go/types — the same constant
+// objects the downstream packages resolve their uses to — so renames
+// cannot fool it and string matching is never involved.
+//
+// An action that is emitted to observers but excluded from the audit log
+// by design (ActTick) is exempted from the replay requirement only, by a
+// doc-comment line on its declaration starting with `lint:observer-only`.
+type ActparityCheck struct{}
+
+func (*ActparityCheck) Name() string { return "actparity" }
+func (*ActparityCheck) Doc() string {
+	return "every sched audit action needs a checker replay rule, a counters mapping and a trace mapping"
+}
+
+// Applies only to the package that declares the enum, so the whole
+// cross-package check runs exactly once per lint run.
+func (*ActparityCheck) Applies(pkgPath string) bool {
+	return pkgPath == "pjs/internal/sched"
+}
+
+func (c *ActparityCheck) Run(p *Package, rep *Reporter) {
+	actionType, ok := p.Types.Scope().Lookup("Action").(*types.TypeName)
+	if !ok {
+		return // fixture package without the enum; nothing to enforce
+	}
+	members := constsOfType(p.Types.Scope(), actionType.Type())
+	if len(members) == 0 {
+		return
+	}
+	memberSet := map[types.Object]bool{}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+
+	checkPkg, err := p.Import("pjs/internal/check")
+	if err != nil {
+		rep.Reportf(actionType.Pos(), "cannot load pjs/internal/check for parity analysis: %v", err)
+		return
+	}
+	obsPkg, err := p.Import("pjs/internal/obs")
+	if err != nil {
+		rep.Reportf(actionType.Pos(), "cannot load pjs/internal/obs for parity analysis: %v", err)
+		return
+	}
+
+	usedInCheck := usesAnywhere(checkPkg, memberSet)
+	usedInCounters := usesInReceiverMethods(obsPkg, memberSet, "Counters")
+	usedInTrace := usesInReceiverMethods(obsPkg, memberSet, "TraceBuilder")
+	observerOnly := observerOnlyMembers(p, memberSet)
+
+	for _, m := range members {
+		if !usedInCheck[m] && !observerOnly[m] {
+			rep.Reportf(m.Pos(),
+				"audit action %s has no replay rule in pjs/internal/check (or mark it lint:observer-only in its doc comment)",
+				m.Name())
+		}
+		if !usedInCounters[m] {
+			rep.Reportf(m.Pos(),
+				"audit action %s has no counters mapping in pjs/internal/obs (Counters methods never mention it)",
+				m.Name())
+		}
+		if !usedInTrace[m] {
+			rep.Reportf(m.Pos(),
+				"audit action %s has no trace mapping in pjs/internal/obs (TraceBuilder methods never mention it)",
+				m.Name())
+		}
+	}
+}
+
+// constsOfType returns the package-scope constants of exactly the given
+// type, in declaration (position) order.
+func constsOfType(scope *types.Scope, typ types.Type) []*types.Const {
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), typ) {
+			out = append(out, c)
+		}
+	}
+	// Scope names come back sorted alphabetically; reorder by source
+	// position so diagnostics walk the iota group top to bottom.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Pos() < out[k-1].Pos(); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// usesAnywhere marks every member object referenced anywhere in pkg.
+func usesAnywhere(pkg *Package, members map[types.Object]bool) map[types.Object]bool {
+	used := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && members[obj] {
+					used[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return used
+}
+
+// usesInReceiverMethods marks every member object referenced inside a
+// method whose receiver's base type is named recvType.
+func usesInReceiverMethods(pkg *Package, members map[types.Object]bool, recvType string) map[types.Object]bool {
+	used := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || receiverBaseName(fd) != recvType {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil && members[obj] {
+						used[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return used
+}
+
+// receiverBaseName returns the name of a method's receiver base type
+// ("Counters" for func (c *Counters) ...), or "" for plain functions.
+func receiverBaseName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// observerOnlyMembers marks members whose declaration carries a
+// doc-comment line starting with "lint:observer-only".
+func observerOnlyMembers(p *Package, members map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !hasObserverOnlyMarker(vs) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := p.Info.Defs[name]; obj != nil && members[obj] {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasObserverOnlyMarker(vs *ast.ValueSpec) bool {
+	for _, cg := range []*ast.CommentGroup{vs.Doc, vs.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "lint:observer-only") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo pins the wall time of a full-repository pjslint run
+// — exactly what the tier-1 gate executes — so the CFG and call-graph
+// passes cannot silently regress verify latency. Each iteration builds
+// a fresh Loader (the per-run cost a CI invocation pays); the stdlib
+// type-check is shared process-wide and amortizes across iterations the
+// same way it amortizes across the test suite.
+func BenchmarkLintRepo(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	checks := AllChecks()
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := l.ModulePackages(l.Root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings := 0
+		for _, path := range paths {
+			p, err := l.Load(path)
+			if err != nil {
+				b.Fatalf("loading %s: %v", path, err)
+			}
+			findings += len(Run(p, checks))
+		}
+		if findings != 0 {
+			b.Fatalf("repository is not clean: %d findings", findings)
+		}
+	}
+}

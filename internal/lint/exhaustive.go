@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExhaustiveCheck enforces that every switch over an enum-like constant
+// group declared in this module — sim.Kind event kinds, sched audit
+// actions, job.Length/Width/State categories, and any future iota group
+// — either covers every member or carries a failing default (one that
+// panics, or returns the result of a call such as an error constructor).
+// Without it, adding an event kind or audit action compiles cleanly
+// while stale switches silently drop the new case; with it, every stale
+// switch is a tier-1 failure at an exact position.
+//
+// An enum-like group is: a defined (named) type in a module package
+// whose underlying type is an integer, with at least two package-level
+// constants of that exact type. Sentinel members whose name starts with
+// "Num"/"num" (counting sentinels like job.NumLengths) are not required
+// in switches.
+type ExhaustiveCheck struct{}
+
+func (*ExhaustiveCheck) Name() string { return "exhaustive" }
+func (*ExhaustiveCheck) Doc() string {
+	return "switches over module enum types must cover every member or fail loudly in default"
+}
+
+// Applies everywhere in the module: enum switches appear in decision
+// packages, observers, checkers and the CLIs alike.
+func (*ExhaustiveCheck) Applies(pkgPath string) bool {
+	return pkgPath == "pjs" || strings.HasPrefix(pkgPath, "pjs/")
+}
+
+func (*ExhaustiveCheck) Run(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := moduleEnumType(p, sw.Tag)
+			if named == nil {
+				return true
+			}
+			members := enumMembers(named)
+			if len(members) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			var def *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					def = cc
+					continue
+				}
+				for _, e := range cc.List {
+					if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			if def != nil && failingDefault(p, def) {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.Val().ExactString()] {
+					missing = append(missing, m.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			rep.Reportf(sw.Switch,
+				"switch over %s is not exhaustive: missing %s (add the cases or a panicking default)",
+				namedLabel(named), strings.Join(missing, ", "))
+			return true
+		})
+	}
+}
+
+// moduleEnumType reports the defined integer type of the switch tag when
+// that type is declared in a module package, nil otherwise.
+func moduleEnumType(p *Package, tag ast.Expr) *types.Named {
+	tv, ok := p.Info.Types[tag]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	if path != "pjs" && !strings.HasPrefix(path, "pjs/") {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// enumMembers returns the exported-or-not package-level constants of the
+// enum type, in the defining scope's sorted name order, excluding
+// counting sentinels ("Num"/"num" prefix).
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue
+		}
+		members = append(members, c)
+	}
+	return members
+}
+
+// failingDefault reports whether the default clause fails loudly: its
+// body panics somewhere, or its final statement returns only call
+// results (the `return fail(...)` / `return fmt.Errorf(...)` idiom).
+// A silent default — fallthrough behavior for "everything else" — does
+// not excuse missing members.
+func failingDefault(p *Package, def *ast.CaseClause) bool {
+	panics := false
+	for _, s := range def.Body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					panics = true
+				}
+			}
+			return true
+		})
+	}
+	if panics {
+		return true
+	}
+	if len(def.Body) == 0 {
+		return false
+	}
+	ret, ok := def.Body[len(def.Body)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	for _, r := range ret.Results {
+		if _, ok := ast.Unparen(r).(*ast.CallExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// namedLabel renders pkgpath.TypeName for diagnostics.
+func namedLabel(named *types.Named) string {
+	obj := named.Obj()
+	return fmt.Sprintf("%s.%s", obj.Pkg().Path(), obj.Name())
+}

@@ -9,8 +9,14 @@
 //
 // The suite is built on go/parser, go/ast and go/types with a
 // module-aware loader (see Loader) so that go.mod stays dependency-free.
-// Each rule is a Check; the five shipped checks are wallclock, detrand,
-// stablesort, maporder and errwrite (see their files for the precise
+// On top of the loader sit two shared whole-program structures — a
+// per-function control-flow summary (CFG, cfg.go) and a type-resolved
+// call graph (CallGraph, callgraph.go) — built lazily per package and
+// memoized, so every check analyzes the same type-checked artifacts.
+//
+// Each rule is a Check. The shipped checks are wallclock, detrand,
+// stablesort, maporder (interprocedural), errwrite, exhaustive,
+// actparity, globalmut and staleignore (see their files for the precise
 // semantics). Diagnostics carry exact file:line:col positions and can be
 // suppressed, one site at a time, with a justified directive:
 //
@@ -66,6 +72,10 @@ func AllChecks() []Check {
 		&StablesortCheck{},
 		&MaporderCheck{},
 		&ErrwriteCheck{},
+		&ExhaustiveCheck{},
+		&ActparityCheck{},
+		&GlobalmutCheck{},
+		&StaleignoreCheck{},
 	}
 }
 
@@ -98,7 +108,9 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies every in-scope check to the package, filters findings
 // through lint:ignore directives, and returns the surviving diagnostics
 // sorted by position. Malformed directives are reported under the
-// synthetic check name "directive".
+// synthetic check name "directive". When the staleignore check is part
+// of the run, well-formed directives that suppressed nothing — and name
+// a check that actually ran — become findings themselves.
 func Run(p *Package, checks []Check) []Diagnostic {
 	var diags []Diagnostic
 	for _, c := range checks {
@@ -116,6 +128,27 @@ func Run(p *Package, checks []Check) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
+	if staleignoreActive(p, checks) {
+		ran := map[string]bool{}
+		for _, c := range checks {
+			if c.Applies(p.Path) {
+				ran[c.Name()] = true
+			}
+		}
+		for _, ent := range ignores.stale(ran) {
+			d := Diagnostic{
+				Pos:   ent.pos,
+				Check: "staleignore",
+				Message: fmt.Sprintf(
+					"lint:ignore pjslint/%s suppresses nothing; delete the stale directive", ent.check),
+			}
+			// One level of suppression applies to staleness findings too,
+			// for the rare intentionally-preemptive directive.
+			if !ignores.suppresses(d) {
+				kept = append(kept, d)
+			}
+		}
+	}
 	sort.Slice(kept, func(i, k int) bool {
 		if kept[i].Pos.Filename != kept[k].Pos.Filename {
 			return kept[i].Pos.Filename < kept[k].Pos.Filename
@@ -131,6 +164,17 @@ func Run(p *Package, checks []Check) []Diagnostic {
 	return kept
 }
 
+// staleignoreActive reports whether the staleignore rule is among the
+// checks being run and in scope for the package.
+func staleignoreActive(p *Package, checks []Check) bool {
+	for _, c := range checks {
+		if c.Name() == "staleignore" && c.Applies(p.Path) {
+			return true
+		}
+	}
+	return false
+}
+
 // ignoreKey identifies one suppression site: a file line and the check
 // it silences.
 type ignoreKey struct {
@@ -139,13 +183,47 @@ type ignoreKey struct {
 	check string
 }
 
-type ignoreSet map[ignoreKey]bool
+// ignoreEntry is the state of one well-formed directive: where it is,
+// and whether it suppressed at least one diagnostic this run.
+type ignoreEntry struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
+type ignoreSet map[ignoreKey]*ignoreEntry
 
 // suppresses reports whether d is covered by a directive on its own
-// line or the line directly above.
+// line or the line directly above, marking the matching directive used.
 func (s ignoreSet) suppresses(d Diagnostic) bool {
-	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
-		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if ent, ok := s[ignoreKey{d.Pos.Filename, line, d.Check}]; ok {
+			ent.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale returns the unused directives whose named check was among the
+// checks that ran (a directive for a check outside this run may simply
+// not have had its chance), sorted by position for determinism. Unused
+// staleignore directives are excluded: reporting them would make the
+// preemptive-suppression escape hatch self-defeating.
+func (s ignoreSet) stale(ran map[string]bool) []*ignoreEntry {
+	var out []*ignoreEntry
+	for _, ent := range s {
+		if !ent.used && ent.check != "staleignore" && ran[ent.check] {
+			out = append(out, ent)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].pos.Filename != out[k].pos.Filename {
+			return out[i].pos.Filename < out[k].pos.Filename
+		}
+		return out[i].pos.Line < out[k].pos.Line
+	})
+	return out
 }
 
 // collectIgnores scans every comment in the package for lint:ignore
@@ -187,7 +265,7 @@ func collectIgnores(p *Package) (ignoreSet, []Diagnostic) {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				set[ignoreKey{pos.Filename, pos.Line, name}] = true
+				set[ignoreKey{pos.Filename, pos.Line, name}] = &ignoreEntry{pos: pos, check: name}
 			}
 		}
 	}

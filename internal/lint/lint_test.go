@@ -74,17 +74,25 @@ func parseWants(t *testing.T, dir string) []want {
 // testdata/src) and the synthetic import path that puts the fixture in
 // the check's scope. A check may own several fixtures, one per scoped
 // subsystem it guards (errwrite covers both the report and obs shapes).
+// A `full` fixture is run under the whole suite instead of its single
+// check: staleignore needs the other checks present, since a directive
+// is only stale relative to checks that actually ran.
 var fixtureCases = []struct {
 	check  string
 	dir    string
 	asPath string
+	full   bool
 }{
-	{"wallclock", "wallclock", "pjs/internal/fixture/wallclock"},
-	{"detrand", "detrand", "pjs/fixture/detrand"},
-	{"stablesort", "stablesort", "pjs/internal/sched/fixture/stablesort"},
-	{"maporder", "maporder", "pjs/internal/sim/fixture/maporder"},
-	{"errwrite", "errwrite", "pjs/internal/report/fixture"},
-	{"errwrite", "errwrite_obs", "pjs/internal/obs/fixture"},
+	{check: "wallclock", dir: "wallclock", asPath: "pjs/internal/fixture/wallclock"},
+	{check: "detrand", dir: "detrand", asPath: "pjs/fixture/detrand"},
+	{check: "stablesort", dir: "stablesort", asPath: "pjs/internal/sched/fixture/stablesort"},
+	{check: "maporder", dir: "maporder", asPath: "pjs/internal/sim/fixture/maporder"},
+	{check: "maporder", dir: "maporder_interproc", asPath: "pjs/internal/sched/fixture/interproc"},
+	{check: "errwrite", dir: "errwrite", asPath: "pjs/internal/report/fixture"},
+	{check: "errwrite", dir: "errwrite_obs", asPath: "pjs/internal/obs/fixture"},
+	{check: "exhaustive", dir: "exhaustive", asPath: "pjs/internal/fixture/exhaustive"},
+	{check: "globalmut", dir: "globalmut", asPath: "pjs/internal/sim/fixture/globalmut"},
+	{check: "staleignore", dir: "staleignore", asPath: "pjs/internal/fixture/staleignore", full: true},
 }
 
 // TestCheckFixtures runs each check over its fixture package and
@@ -109,31 +117,41 @@ func TestCheckFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := Run(p, []Check{check})
-			wants := parseWants(t, dir)
-
-			matched := make([]bool, len(wants))
-		diag:
-			for _, d := range diags {
-				for i, w := range wants {
-					if matched[i] || !sameFile(d.Pos.Filename, w.file) || d.Pos.Line != w.line {
-						continue
-					}
-					if !w.re.MatchString(d.Message) {
-						t.Errorf("%s:%d: diagnostic %q does not match want %q",
-							w.file, w.line, d.Message, w.re)
-					}
-					matched[i] = true
-					continue diag
-				}
-				t.Errorf("unexpected diagnostic: %s", d)
+			checks := []Check{check}
+			if tc.full {
+				checks = AllChecks()
 			}
-			for i, w := range wants {
-				if !matched[i] {
-					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-				}
-			}
+			matchWants(t, dir, Run(p, checks))
 		})
+	}
+}
+
+// matchWants demands an exact match between produced diagnostics and
+// the fixture's want comments: same file, same line, message matching
+// the pattern — no extras, no misses.
+func matchWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, dir)
+	matched := make([]bool, len(wants))
+diag:
+	for _, d := range diags {
+		for i, w := range wants {
+			if matched[i] || !sameFile(d.Pos.Filename, w.file) || d.Pos.Line != w.line {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want %q",
+					w.file, w.line, d.Message, w.re)
+			}
+			matched[i] = true
+			continue diag
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
 	}
 }
 
@@ -219,6 +237,94 @@ func shadow(rels []rel) {
 	d := diags[0]
 	if d.Check != "stablesort" || d.Pos.Line != 11 {
 		t.Errorf("want stablesort finding at line 11, got %s", d)
+	}
+}
+
+// TestActparityFixture runs the cross-package parity check over a
+// three-package fixture loaded under the real import paths: a sched
+// fixture declaring the Action enum, a check fixture missing one replay
+// rule, and an obs fixture missing one counter and one trace mapping.
+// The sched fixture must be loaded first so the sibling packages'
+// `pjs/internal/sched` imports resolve to the fixture enum through the
+// loader cache, not to the real scheduler.
+func TestActparityFixture(t *testing.T) {
+	l := newTestLoader(t)
+	base := filepath.Join("testdata", "src", "actparity")
+	schedPkg, err := l.LoadDir(filepath.Join(base, "sched"), "pjs/internal/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []struct{ dir, asPath string }{
+		{"check", "pjs/internal/check"},
+		{"obs", "pjs/internal/obs"},
+	} {
+		if _, err := l.LoadDir(filepath.Join(base, sub.dir), sub.asPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matchWants(t, filepath.Join(base, "sched"),
+		Run(schedPkg, []Check{&ActparityCheck{}}))
+
+	// Cross-check hygiene: none of the three fixture packages may trip
+	// any other rule (the enum switches carry panicking defaults, etc.).
+	var others []Check
+	for _, c := range AllChecks() {
+		if c.Name() != "actparity" {
+			others = append(others, c)
+		}
+	}
+	for _, path := range []string{"pjs/internal/sched", "pjs/internal/check", "pjs/internal/obs"} {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range Run(p, others) {
+			t.Errorf("actparity fixture %s trips foreign check: %s", path, d)
+		}
+	}
+}
+
+// TestExhaustiveCatchesDeletedCase reproduces the acceptance criterion
+// end-to-end in miniature: deleting one event-kind case from a dispatch
+// switch (the way a stale switch survives an enum extension) must
+// produce an exhaustive finding under the full suite.
+func TestExhaustiveCatchesDeletedCase(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sim
+
+type Kind int
+
+const (
+	Completion Kind = iota
+	SuspendDone
+	Arrival
+)
+
+func stale(k Kind) bool {
+	switch k {
+	case Completion:
+		return true
+	case SuspendDone:
+		return false
+	}
+	return false
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newTestLoader(t)
+	p, err := l.LoadDir(dir, "pjs/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(p, AllChecks())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "exhaustive" || !strings.Contains(d.Message, "missing Arrival") {
+		t.Errorf("want exhaustive finding naming Arrival, got %s", d)
 	}
 }
 

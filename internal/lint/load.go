@@ -3,7 +3,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -13,7 +12,10 @@ import (
 	"strings"
 )
 
-// Package is one loaded, type-checked package ready for analysis.
+// Package is one loaded, type-checked package ready for analysis. A
+// package is type-checked exactly once per loader and the result —
+// including the lazily built call graph and per-function CFGs — is
+// shared by every check that inspects it.
 type Package struct {
 	// Path is the import path the checks scope on. For fixture packages
 	// it is a synthetic path chosen by the harness.
@@ -24,13 +26,28 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader
+	cg     *CallGraph
+	cfgs   map[*ast.FuncDecl]*CFG
+}
+
+// Import resolves another module package through the loader that built
+// this one, so cross-package checks (actparity) analyze the same
+// type-checked artifacts as every other check instead of re-resolving.
+func (p *Package) Import(path string) (*Package, error) {
+	if p.loader == nil {
+		return nil, fmt.Errorf("lint: package %s has no loader", p.Path)
+	}
+	return p.loader.Load(path)
 }
 
 // Loader parses and type-checks packages of the enclosing module using
 // only the standard library: module-internal imports are resolved
-// against the module root, everything else is delegated to go/importer's
-// source importer (which compiles the standard library from GOROOT).
-// go.mod therefore needs no analysis dependencies.
+// against the module root, everything else is served by the shared
+// stdlib cache (stdimport.go), which source-compiles each standard
+// library package from GOROOT exactly once per process. go.mod
+// therefore needs no analysis dependencies.
 type Loader struct {
 	// Root is the module root directory (where go.mod lives).
 	Root string
@@ -39,22 +56,21 @@ type Loader struct {
 	// Fset is shared across every package the loader touches.
 	Fset *token.FileSet
 
-	std  types.Importer
 	pkgs map[string]*Package
 }
 
-// NewLoader builds a loader for the module rooted at root.
+// NewLoader builds a loader for the module rooted at root. Standard
+// library imports are served by a process-wide cache (see stdimport.go),
+// so constructing many loaders does not re-type-check the stdlib.
 func NewLoader(root string) (*Loader, error) {
 	mod, err := moduleName(root)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
 		Root:   root,
 		Module: mod,
-		Fset:   fset,
-		std:    importer.ForCompiler(fset, "source", nil),
+		Fset:   token.NewFileSet(),
 		pkgs:   make(map[string]*Package),
 	}, nil
 }
@@ -131,12 +147,13 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", asPath, err)
 	}
 	p := &Package{
-		Path:  asPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   asPath,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
 	l.pkgs[asPath] = p
 	return p, nil
@@ -195,7 +212,7 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
-	return l.std.Import(path)
+	return importStd(path)
 }
 
 // ModulePackages walks the module tree below dir (itself relative to or

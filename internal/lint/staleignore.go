@@ -1,0 +1,28 @@
+package lint
+
+// StaleignoreCheck flags //lint:ignore directives that suppress
+// nothing. Suppressions are point exemptions from determinism rules;
+// when the code they excused is refactored away the directive lingers
+// and silently pre-authorizes a future violation on that line. Making
+// staleness itself a finding keeps the suppression inventory exactly as
+// large as the set of real, currently-justified exceptions.
+//
+// The detection cannot run per-AST-node like other checks: whether a
+// directive is used is only known after every other check has run and
+// the filter has matched diagnostics against directives. The logic
+// therefore lives in Run (lint.go), which consults the post-filter
+// usage state of each well-formed directive; this type exists so the
+// check is registered, listable, scopeable and itself suppressible like
+// any other. A directive is only judged stale when the check it names
+// was part of the run, so partial runs (-check subsets) cannot
+// misreport.
+type StaleignoreCheck struct{}
+
+func (*StaleignoreCheck) Name() string { return "staleignore" }
+func (*StaleignoreCheck) Doc() string {
+	return "a lint:ignore directive that suppresses nothing must be deleted"
+}
+func (*StaleignoreCheck) Applies(pkgPath string) bool { return true }
+
+// Run is a no-op: staleness is computed by lint.Run after filtering.
+func (*StaleignoreCheck) Run(p *Package, rep *Reporter) {}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// The standard library is type-checked from source (go/importer's
+// "source" compiler), which is by far the dominant cost of a load: a
+// single import of fmt pulls in dozens of transitive packages. The
+// result is position-independent and identical for every Loader in the
+// process, so it is computed exactly once and shared — the loader
+// benchmark (BenchmarkLintRepo) and the fixture-heavy test suite both
+// construct many loaders, and without this cache each one re-compiled
+// the stdlib from scratch.
+//
+// Stdlib positions land in their own FileSet (stdFset), never mixed
+// with a loader's module FileSet; diagnostics only ever position module
+// AST nodes, so the split is invisible to callers.
+var (
+	stdMu    sync.Mutex
+	stdFset  = token.NewFileSet()
+	stdImp   types.Importer
+	stdCache = map[string]*types.Package{}
+)
+
+// importStd resolves a non-module import path through the shared cache.
+func importStd(path string) (*types.Package, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if p, ok := stdCache[path]; ok {
+		return p, nil
+	}
+	if stdImp == nil {
+		stdImp = importer.ForCompiler(stdFset, "source", nil)
+	}
+	p, err := stdImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	stdCache[path] = p
+	return p, nil
+}

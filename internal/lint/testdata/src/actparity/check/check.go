@@ -1,0 +1,20 @@
+// Package check is the actparity fixture's replay surface: it mentions
+// every action the checker can replay. ActNoReplay is deliberately
+// absent, and ActHeartbeat is exempted at its declaration.
+package check
+
+import "pjs/internal/sched"
+
+// Replay consumes one replayable action.
+func Replay(a sched.Action) error {
+	switch a {
+	case sched.ActGood:
+		return nil
+	case sched.ActNoCount:
+		return nil
+	case sched.ActNoTrace:
+		return nil
+	default:
+		panic("check: unreplayable action")
+	}
+}

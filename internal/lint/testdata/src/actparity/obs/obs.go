@@ -1,0 +1,37 @@
+// Package obs is the actparity fixture's observer surface: a Counters
+// and a TraceBuilder type whose methods mention the actions they map.
+// ActNoCount is absent from the Counters method, ActNoTrace from the
+// TraceBuilder method.
+package obs
+
+import "pjs/internal/sched"
+
+// Counters mirrors the real per-action counter shape.
+type Counters struct {
+	n [8]int
+}
+
+// Observe maps an action to its counter.
+func (c *Counters) Observe(a sched.Action) {
+	switch a {
+	case sched.ActGood, sched.ActNoReplay, sched.ActNoTrace, sched.ActHeartbeat:
+		c.n[int(a)]++
+	default:
+		panic("obs: uncounted action")
+	}
+}
+
+// TraceBuilder mirrors the real trace-slice builder shape.
+type TraceBuilder struct {
+	slices []int
+}
+
+// Observe maps an action to its trace slice.
+func (b *TraceBuilder) Observe(a sched.Action) {
+	switch a {
+	case sched.ActGood, sched.ActNoReplay, sched.ActNoCount, sched.ActHeartbeat:
+		b.slices = append(b.slices, int(a))
+	default:
+		panic("obs: untraced action")
+	}
+}

@@ -1,0 +1,26 @@
+// Package sched is the actparity fixture's enum surface: an Action
+// group whose members are variously wired — or deliberately not — into
+// the fixture check and obs packages loaded under the real import
+// paths. Each unwired direction is one want below; deleting a replay
+// rule or mapping from the sibling fixtures reproduces exactly the
+// drift the check exists to catch.
+package sched
+
+// Action mirrors the simulator's audit-action enum.
+type Action int
+
+const (
+	// ActGood is wired everywhere: replay rule, counter, trace slice.
+	ActGood Action = iota
+	// ActNoReplay has a counter and a trace slice but no replay rule.
+	ActNoReplay // want "has no replay rule in pjs/internal/check"
+	// ActNoCount has a replay rule and a trace slice but no counter.
+	ActNoCount // want "no counters mapping in pjs/internal/obs"
+	// ActNoTrace has a replay rule and a counter but no trace slice.
+	ActNoTrace // want "no trace mapping in pjs/internal/obs"
+	// ActHeartbeat is emitted to observers only and never audited, so
+	// it needs no replay rule — but still needs its observer mappings.
+	//
+	// lint:observer-only — no checker replay rule by design.
+	ActHeartbeat
+)

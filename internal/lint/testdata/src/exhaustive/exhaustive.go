@@ -1,0 +1,112 @@
+// Package fixture exercises the exhaustive check: a switch over a
+// module enum type must cover every member or fail loudly in its
+// default clause. Counting sentinels (Num... members) are not demanded,
+// and switches over non-module types are out of scope.
+package fixture
+
+import "fmt"
+
+// Phase is an enum-like module const group.
+type Phase int
+
+const (
+	// Queued is the initial phase.
+	Queued Phase = iota
+	// Running is the active phase.
+	Running
+	// Done is the terminal phase.
+	Done
+	// NumPhases is a counting sentinel; switches need not cover it.
+	NumPhases
+)
+
+// BadMissing silently ignores Done: adding or forgetting a member must
+// not compile quietly.
+func BadMissing(p Phase) string {
+	switch p { // want "missing Done"
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	}
+	return ""
+}
+
+// BadSilentDefault hides the gap behind a catch-all default that cannot
+// tell a new member from a forgotten one.
+func BadSilentDefault(p Phase) string {
+	switch p { // want "missing Running"
+	case Queued:
+		return "queued"
+	case Done:
+		return "done"
+	default:
+		return "other"
+	}
+}
+
+// GoodFull covers every member; the sentinel is not required.
+func GoodFull(p Phase) string {
+	switch p {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return ""
+}
+
+// GoodLiteralCases covers members by constant value rather than name;
+// coverage is matched on values, so this is complete too.
+func GoodLiteralCases(p Phase) int {
+	switch p {
+	case Queued, Running:
+		return 0
+	case 2: // Done
+		return 1
+	}
+	return -1
+}
+
+// GoodPanickingDefault names one member and fails loudly for the rest:
+// a new member crashes the first run instead of mis-sorting it.
+func GoodPanickingDefault(p Phase) int {
+	switch p {
+	case Done:
+		return 1
+	default:
+		panic(fmt.Sprintf("unhandled phase %d", int(p)))
+	}
+}
+
+// GoodErrorReturnDefault mirrors the checker's `return fail(...)` idiom:
+// a default returning only call results counts as failing loudly.
+func GoodErrorReturnDefault(p Phase) error {
+	switch p {
+	case Done:
+		return nil
+	default:
+		return fmt.Errorf("unhandled phase %d", int(p))
+	}
+}
+
+// GoodNonEnum switches over a plain string: out of scope.
+func GoodNonEnum(s string) int {
+	switch s {
+	case "queued":
+		return 0
+	}
+	return 1
+}
+
+// Suppressed demonstrates the directive for a deliberate partial match.
+func Suppressed(p Phase) bool {
+	//lint:ignore pjslint/exhaustive fixture demonstrates a justified partial switch
+	switch p {
+	case Done:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the globalmut check: mutable package-level
+// state in a decision-path package is flagged, while constant
+// declarations, sentinel errors and justified registries are not.
+package fixture
+
+import "errors"
+
+// ErrExhausted is a write-once error sentinel: the idiomatic exemption.
+var ErrExhausted = errors.New("fixture: exhausted")
+
+// seen is hidden cross-run state: two simulations in one process would
+// observe each other through it.
+var seen = map[int]bool{} // want "mutable global state"
+
+// counter is equally hidden state.
+var counter int // want "mutable global state"
+
+// maxRetries is a constant, not state.
+const maxRetries = 3
+
+//lint:ignore pjslint/globalmut write-once registry populated by Register before any run starts
+var registry = map[string]func() int{}
+
+// Register installs a named factory.
+func Register(name string, f func() int) { registry[name] = f }
+
+// Lookup resolves a named factory.
+func Lookup(name string) (func() int, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Mark records a visit in the (flagged) globals.
+func Mark(id int) {
+	seen[id] = true
+	counter++
+	if counter > maxRetries {
+		counter = 0
+	}
+}
+
+// Sentinel keeps the error var referenced.
+func Sentinel() error { return ErrExhausted }

@@ -1,0 +1,23 @@
+// Package fixture exercises the staleignore check: a well-formed
+// lint:ignore directive that suppresses nothing is itself a diagnostic,
+// while one that suppresses a real finding stays silent. The fixture is
+// run under the full suite — staleness is only decidable after every
+// other check has had its chance.
+package fixture
+
+import "math/rand"
+
+// Jitter carries a live suppression: the directive silences a real
+// detrand finding, so staleignore says nothing about it.
+func Jitter() int {
+	//lint:ignore pjslint/detrand fixture demonstrates a live suppression
+	return rand.Intn(6)
+}
+
+// Stale sits under a directive with nothing left to suppress: the
+// wall-clock call it once excused is long gone.
+//
+//lint:ignore pjslint/wallclock legacy timing shim, removed // want "suppresses nothing"
+func Stale() int {
+	return 42
+}

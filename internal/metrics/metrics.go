@@ -51,6 +51,8 @@ const (
 // String names the filter.
 func (f Filter) String() string {
 	switch f {
+	case All:
+		return "all"
 	case WellEstimated:
 		return "well-estimated"
 	case BadlyEstimated:
@@ -61,6 +63,8 @@ func (f Filter) String() string {
 
 func (f Filter) keep(j *job.Job) bool {
 	switch f {
+	case All:
+		return true
 	case WellEstimated:
 		return j.WellEstimated()
 	case BadlyEstimated:

@@ -196,23 +196,25 @@ func (b *TraceBuilder) Observe(ev sched.Event) {
 		// The stranded image is a zero-duration marker on the set the
 		// job was suspended on (it held no processors at the time).
 		b.emitSlices(j, ev.Procs, ev.Time, 0, CatImageLost)
+	case sched.ActArrive, sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+		// No slice: arrivals open nothing (the queue is not a track),
+		// and processor/tick events carry no job — faults are handled
+		// by observeFault on the job-less path above.
 	}
 }
 
-// observeFault maintains the per-processor down spans.
+// observeFault maintains the per-processor down spans. Only called for
+// ActProcFail and ActProcRepair (the caller dispatches).
 func (b *TraceBuilder) observeFault(ev sched.Event) {
 	p := ev.Procs[0]
-	switch ev.Action {
-	case sched.ActProcFail:
+	if ev.Action == sched.ActProcFail {
 		if b.downSince == nil {
 			b.downSince = make(map[int]int64)
 		}
 		b.downSince[p] = ev.Time
-	case sched.ActProcRepair:
-		if start, ok := b.downSince[p]; ok {
-			delete(b.downSince, p)
-			b.emitDown(p, start, ev.Time)
-		}
+	} else if start, ok := b.downSince[p]; ok {
+		delete(b.downSince, p)
+		b.emitDown(p, start, ev.Time)
 	}
 }
 

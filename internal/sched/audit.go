@@ -43,6 +43,8 @@ const (
 	// ActTick is the periodic scheduler-tick heartbeat. It is emitted
 	// to observers only (Event.Job is nil) and never appears in the
 	// audit log, which records job actions exclusively.
+	//
+	// lint:observer-only — no checker replay rule exists by design.
 	ActTick
 )
 

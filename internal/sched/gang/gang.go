@@ -234,6 +234,8 @@ func (s *Sched) relaunch() {
 			s.env.Resume(q)
 		case job.Queued:
 			s.env.StartFresh(q)
+		case job.Running, job.Suspending, job.Finished:
+			// Already launched (or done): nothing to relaunch.
 		}
 	}
 }

@@ -194,6 +194,10 @@ func stale(ev *Event) bool {
 		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Running
 	case SuspendDone:
 		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Suspending
+	case Arrival, Tick, ProcFail, ProcRepair:
+		// Not job-bound: arrivals are externally scheduled, ticks and
+		// processor events carry no job, so none can go stale.
+		return false
 	}
 	return false
 }

@@ -130,9 +130,10 @@ func (m Model) classRunRange(l job.Length) (lo, hi int64) {
 		return job.VeryShortMax + 1, job.ShortMax
 	case job.Long:
 		return job.ShortMax + 1, job.LongMax
-	default:
+	case job.VeryLong:
 		return job.LongMax + 1, maxRun
 	}
+	return job.LongMax + 1, maxRun
 }
 
 // classWidthRange returns the processor sampling band for a width class,
@@ -149,9 +150,10 @@ func (m Model) classWidthRange(w job.Width) (lo, hi int) {
 		return 2, min(job.NarrowMax, maxW)
 	case job.Wide:
 		return job.NarrowMax + 1, min(job.WideMax, maxW)
-	default:
+	case job.VeryWide:
 		return job.WideMax + 1, maxW
 	}
+	return job.WideMax + 1, maxW
 }
 
 func min(a, b int) int {

@@ -34,6 +34,8 @@ func (m EstimateMode) String() string {
 	switch m {
 	case EstimateAccurate:
 		return "accurate"
+	case EstimateInaccurate:
+		return "inaccurate"
 	case EstimateModal:
 		return "modal"
 	}
