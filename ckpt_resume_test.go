@@ -1,0 +1,91 @@
+package pjs_test
+
+import (
+	"testing"
+
+	"pjs"
+	"pjs/internal/sched"
+)
+
+// TestCrashEquivalenceMatrix is the acceptance property for
+// checkpoint/resume: for EVERY policy in the scheduler registry, with
+// and without fault injection, a run that is checkpointed and resumed
+// from a watermark produces the byte-identical audit log of the
+// uninterrupted run. Each (policy, fault) cell takes periodic
+// watermarks from a reference run and replays a sample of them —
+// first, two interior, and the last — through a fresh scheduler.
+func TestCrashEquivalenceMatrix(t *testing.T) {
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 160, Seed: 9})
+	faultModes := []struct {
+		name   string
+		faults pjs.FaultConfig
+	}{
+		{"nofault", pjs.FaultConfig{}},
+		{"faults", pjs.FaultConfig{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 5}},
+	}
+	for _, fm := range faultModes {
+		for _, spec := range pjs.SchedulerSpecs() {
+			t.Run(fm.name+"/"+spec, func(t *testing.T) {
+				newSched := func() pjs.Scheduler {
+					s, err := pjs.NewScheduler(spec)
+					if err != nil {
+						t.Fatalf("NewScheduler(%q): %v", spec, err)
+					}
+					return s
+				}
+				var snaps []sched.Snapshot
+				ref, err := pjs.SimulateChecked(trace, newSched(), pjs.Options{
+					Audit:    true,
+					MaxSteps: 50_000_000,
+					Faults:   fm.faults,
+					Checkpoint: &sched.CheckpointConfig{
+						Every: 100,
+						Save:  func(s sched.Snapshot) error { snaps = append(snaps, s); return nil },
+					},
+				})
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				if len(snaps) == 0 {
+					t.Fatal("reference run took no checkpoints")
+				}
+				want := ref.Audit.String()
+				for _, i := range watermarkSample(len(snaps)) {
+					snap := snaps[i]
+					res, err := pjs.SimulateChecked(trace, newSched(), pjs.Options{
+						Audit:    true,
+						MaxSteps: 50_000_000,
+						Faults:   fm.faults,
+						Resume: &sched.ResumeSpec{
+							Events:       snap.Events,
+							AuditHash:    snap.AuditHash,
+							AuditEntries: snap.AuditEntries,
+						},
+					})
+					if err != nil {
+						t.Fatalf("resume from event %d: %v", snap.Events, err)
+					}
+					if got := res.Audit.String(); got != want {
+						t.Errorf("resume from event %d: audit log differs from uninterrupted run:\n%s",
+							snap.Events, firstDivergence(got, want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// watermarkSample picks up to four distinct indices out of n: the
+// first, two interior thirds, and the last.
+func watermarkSample(n int) []int {
+	idx := []int{0, n / 3, 2 * n / 3, n - 1}
+	out := idx[:0]
+	seen := -1
+	for _, i := range idx {
+		if i > seen {
+			out = append(out, i)
+			seen = i
+		}
+	}
+	return out
+}

@@ -6,18 +6,30 @@
 //	pexp -exp fig7                  # one experiment
 //	pexp -exp fig7,fig8 -jobs 10000 # bigger trace, several experiments
 //	pexp -exp all -csv out/         # everything, with CSV dumps
+//	pexp -exp all -memo-dir cache/  # resumable: finished runs persist
+//
+// With -memo-dir every completed simulation is saved as a checksummed
+// memo file; re-running the same sweep recalls finished runs instead
+// of recomputing them, so an interrupted sweep (SIGINT exits with code
+// 3 between experiments) resumes where it left off. Corrupt or foreign
+// cache entries are detected and regenerated, never trusted.
+//
+// Exit codes: 0 success, 1 failure, 2 flag error, 3 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"pjs"
+	"pjs/internal/ckpt"
 	"pjs/internal/cli"
 	"pjs/internal/obs"
 )
@@ -48,6 +60,7 @@ func pexp(args []string, stdout, stderr *cli.W) int {
 		quiet    = fs.Bool("q", false, "suppress progress timing lines")
 		verify   = fs.Bool("verify", false, "replay every simulation through the invariant checker")
 		counters = fs.Bool("counters", false, "print per-experiment engine counter tables")
+		memoDir  = fs.String("memo-dir", "", "cache finished simulations here; interrupted sweeps resume from the cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +95,21 @@ func pexp(args []string, stdout, stderr *cli.W) int {
 	}
 
 	cfg := pjs.ExpConfig{Jobs: *jobs, Seed: *seed, Verify: *verify}
+	ctx := context.Background()
+	if *memoDir != "" {
+		if err := os.MkdirAll(*memoDir, 0o755); err != nil {
+			return fail(err)
+		}
+		cfg.MemoDir = *memoDir
+		cfg.Warnf = func(format string, args ...any) {
+			stderr.Printf("pexp: "+format+"\n", args...)
+		}
+		// With a persistent cache an interrupt is recoverable: stop
+		// between experiments, keep everything already memoized.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+	}
 	var reg *obs.Registry
 	if *counters {
 		reg = obs.NewRegistry()
@@ -90,6 +118,11 @@ func pexp(args []string, stdout, stderr *cli.W) int {
 	runner := pjs.NewRunner(cfg)
 	var prevSnap []obs.Counters
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			stderr.Printf("pexp: interrupted before %s; finished runs are memoized in %s — rerun the same command to resume\n",
+				e.ID, *memoDir)
+			return 3
+		}
 		// Wall-clock here times the experiment for the operator's stderr
 		// progress line only; it never enters simulation state, which is
 		// why cmd/ sits outside the pjslint wallclock check's scope (the
@@ -118,14 +151,14 @@ func pexp(args []string, stdout, stderr *cli.W) int {
 			}
 			if csv := out.CSV(); csv != "" {
 				path := filepath.Join(*csvDir, e.ID+".csv")
-				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				if err := ckpt.WriteFileAtomic(path, []byte(csv)); err != nil {
 					return fail(err)
 				}
 			}
 			if len(delta) > 0 {
 				t := obs.CountersTable(e.ID+" counters", delta)
 				path := filepath.Join(*csvDir, e.ID+".counters.csv")
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				if err := ckpt.WriteFileAtomic(path, []byte(t.CSV())); err != nil {
 					return fail(err)
 				}
 			}

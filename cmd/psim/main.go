@@ -7,23 +7,41 @@
 //	psim -trace log.swf -sched ns -filter well
 //	psim -model CTC -sched ss:1.5 -estimates inaccurate -load 1.3 -overhead -verify
 //	psim -sched ns -mtbf 500 -mttr 2 -fault-seed 7   # processor fault injection
+//	psim -model SDSC -jobs 50000 -ckpt-every 100000  # crash-safe checkpointing
+//	psim -resume psim.ckpt                           # continue an interrupted run
+//
+// With -ckpt-every N a resumable checkpoint is written atomically every
+// N engine events, and a SIGINT (Ctrl-C) or an expired -max-wall budget
+// saves a final checkpoint and exits with code 3 instead of discarding
+// the run. -resume replays deterministically to the saved watermark
+// (verifying it — a corrupt, stale or foreign checkpoint is rejected,
+// never silently resumed) and produces output byte-identical to the
+// uninterrupted run.
+//
+// Exit codes: 0 success, 1 run or input failure, 2 flag error,
+// 3 interrupted with a checkpoint saved.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"pjs"
 	"pjs/internal/check"
+	"pjs/internal/ckpt"
 	"pjs/internal/cli"
 	"pjs/internal/gantt"
 	"pjs/internal/job"
 	"pjs/internal/metrics"
 	"pjs/internal/obs"
 	"pjs/internal/report"
-	"pjs/internal/workload"
+	"pjs/internal/sched"
 )
 
 func main() {
@@ -67,6 +85,10 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		mtbf      = fs.Float64("mtbf", 0, "per-processor mean time between failures in hours (0 disables fault injection)")
 		mttr      = fs.Float64("mttr", 0, "mean time to repair in hours (with -mtbf; 0 means failures are permanent)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed (with -mtbf)")
+		ckptEvery = fs.Int64("ckpt-every", 0, "write a resumable checkpoint every N engine events (0 disables)")
+		ckptDir   = fs.String("ckpt-dir", ".", "directory for the checkpoint file (with -ckpt-every)")
+		resume    = fs.String("resume", "", "resume from this checkpoint file (workload/scheduler/options come from it)")
+		maxWall   = fs.Duration("max-wall", 0, "wall-clock budget; an exceeded budget checkpoints (if enabled) and exits 3")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,14 +98,61 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		return 1
 	}
 
-	trace, err := loadTrace(*traceFile, *model, *jobs, *seed, *estimates)
+	// The run's identity: workload provenance, scheduler spec and
+	// simulation-affecting options — either from the flags (fresh run)
+	// or from a checkpoint (resume). Everything downstream derives from
+	// these three, so a resumed run is indistinguishable from a fresh
+	// one past this block.
+	var (
+		spec       *ckpt.WorkloadSpec
+		schedName  string
+		optSpec    ckpt.OptSpec
+		resumeSpec *sched.ResumeSpec
+		ckptPath   string
+	)
+	if *resume != "" {
+		c, err := ckpt.Load(*resume)
+		if err != nil {
+			return fail(err)
+		}
+		spec, schedName, optSpec = &c.Workload, c.Sched, c.Opt
+		resumeSpec = &sched.ResumeSpec{Events: c.Events, AuditHash: c.AuditHash, AuditEntries: c.AuditEntries}
+		ckptPath = *resume
+		stderr.Printf("psim: resuming %s under %s from event %d (t=%d)\n",
+			spec, schedName, c.Events, c.Now)
+	} else {
+		if *mtbf < 0 || *mttr < 0 {
+			return fail(fmt.Errorf("-mtbf and -mttr must be ≥ 0 hours, got %g/%g", *mtbf, *mttr))
+		}
+		spec = &ckpt.WorkloadSpec{Kind: ckpt.KindSynthetic, Model: *model, Jobs: *jobs,
+			Seed: *seed, Estimates: *estimates, Load: *loadF}
+		if *traceFile != "" {
+			spec = &ckpt.WorkloadSpec{Kind: ckpt.KindSWF, File: *traceFile,
+				Estimates: *estimates, Load: *loadF}
+		}
+		schedName = *schedSpec
+		optSpec = ckpt.OptSpec{
+			Overhead:   *oh,
+			Contiguous: *contig,
+			MTBF:       int64(*mtbf * 3600),
+			MTTR:       int64(*mttr * 3600),
+			FaultSeed:  *faultSeed,
+		}
+		if *ckptEvery > 0 {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				return fail(err)
+			}
+			ckptPath = filepath.Join(*ckptDir, "psim.ckpt")
+		}
+	}
+
+	// Build recomputes (and on resume verifies) the SWF fingerprint, so
+	// it must run before the first checkpoint save captures the spec.
+	trace, err := spec.Build()
 	if err != nil {
 		return fail(err)
 	}
-	if *loadF != 1.0 {
-		trace = trace.ScaleLoad(*loadF)
-	}
-	s, err := pjs.NewScheduler(*schedSpec)
+	s, err := pjs.NewScheduler(schedName)
 	if err != nil {
 		return fail(err)
 	}
@@ -98,19 +167,20 @@ func psim(args []string, stdout, stderr *cli.W) int {
 	default:
 		return fail(fmt.Errorf("unknown -filter %q", *filter))
 	}
-	if *mtbf < 0 || *mttr < 0 {
-		return fail(fmt.Errorf("-mtbf and -mttr must be ≥ 0 hours, got %g/%g", *mtbf, *mttr))
-	}
 
-	opt := pjs.Options{Audit: *verify || *ganttW > 0, ContiguousAlloc: *contig}
-	if *oh {
-		opt.Overhead = pjs.DiskOverhead().Overhead
-	}
-	if *mtbf > 0 {
-		opt.Faults = pjs.FaultConfig{
-			MTBF: int64(*mtbf * 3600),
-			MTTR: int64(*mttr * 3600),
-			Seed: *faultSeed,
+	opt := optSpec.Options()
+	opt.Audit = *verify || *ganttW > 0
+	opt.Resume = resumeSpec
+	if ckptPath != "" {
+		path := ckptPath
+		opt.Checkpoint = &sched.CheckpointConfig{
+			Every: *ckptEvery,
+			Save: func(snap sched.Snapshot) error {
+				c := &ckpt.Checkpoint{Workload: *spec, Sched: schedName, Opt: optSpec,
+					Events: snap.Events, Now: snap.Now,
+					AuditHash: snap.AuditHash, AuditEntries: snap.AuditEntries}
+				return c.Save(path)
+			},
 		}
 	}
 	var (
@@ -142,12 +212,33 @@ func psim(args []string, stdout, stderr *cli.W) int {
 	if len(sinks) > 0 {
 		opt.Observer = obs.NewFanOut(sinks...)
 	}
-	res, err := pjs.SimulateChecked(trace, s, opt)
+
+	ctx := context.Background()
+	if opt.Checkpoint != nil {
+		// A SIGINT checkpoints and exits cleanly instead of killing the
+		// run; only worth intercepting when there is somewhere to save.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+	}
+	if *maxWall > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *maxWall)
+		defer cancel()
+	}
+	res, err := pjs.SimulateContext(ctx, trace, s, opt)
 	if err != nil {
+		var ie *sched.InterruptedError
+		if errors.As(err, &ie) {
+			stderr.Printf("psim: interrupted after %d events at t=%d; checkpoint saved\n",
+				ie.Snapshot.Events, ie.Snapshot.Now)
+			stderr.Printf("psim: resume with: psim -resume %s\n", ckptPath)
+			return 3
+		}
 		return fail(err)
 	}
 	if *verify {
-		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !*oh}); err != nil {
+		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !optSpec.Overhead}); err != nil {
 			return fail(fmt.Errorf("invariant check failed: %v", err))
 		}
 		occ, _ := res.UtilizationIntegral()
@@ -155,11 +246,19 @@ func psim(args []string, stdout, stderr *cli.W) int {
 	}
 	sum := pjs.Summarize(res, f)
 
+	estShown := spec.Estimates
+	if estShown == "" {
+		estShown = "accurate"
+	}
+	loadShown := spec.Load
+	if loadShown == 0 {
+		loadShown = 1
+	}
 	stdout.Printf("trace=%s machine=%d procs jobs=%d scheduler=%s estimates=%s load=%.2g\n",
-		trace.Name, trace.Procs, len(trace.Jobs), s.Name(), *estimates, *loadF)
+		trace.Name, trace.Procs, len(trace.Jobs), s.Name(), estShown, loadShown)
 	stdout.Printf("makespan=%ds utilization=%.1f%% suspensions=%d\n",
 		res.Makespan(), 100*res.Utilization, res.Suspensions)
-	if *mtbf > 0 {
+	if optSpec.MTBF > 0 {
 		resubmits := 0
 		for _, j := range res.Jobs {
 			resubmits += j.Resubmits
@@ -182,15 +281,10 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		stdout.Print(gantt.Render(res.Audit, gantt.Options{Width: *ganttW}))
 	}
 	if *dump != "" {
-		fh, err := os.Create(*dump)
+		err := ckpt.WriteAtomic(*dump, func(w io.Writer) error {
+			return metrics.WriteJobsCSV(w, res.Jobs)
+		})
 		if err != nil {
-			return fail(err)
-		}
-		if err := metrics.WriteJobsCSV(fh, res.Jobs); err != nil {
-			fh.Close()
-			return fail(err)
-		}
-		if err := fh.Close(); err != nil {
 			return fail(err)
 		}
 		stderr.Printf("psim: wrote %d job records to %s\n", len(res.Jobs), *dump)
@@ -202,57 +296,18 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		stdout.Print(counts.CategoryTable().Render())
 	}
 	if sampler != nil {
-		if err := writeTo(*tsOut, sampler.WriteCSV); err != nil {
+		if err := ckpt.WriteAtomic(*tsOut, sampler.WriteCSV); err != nil {
 			return fail(err)
 		}
 		stderr.Printf("psim: wrote %d time-series samples to %s\n", len(sampler.Samples), *tsOut)
 	}
 	if traceB != nil {
-		if err := writeTo(*traceOut, traceB.WriteJSON); err != nil {
+		if err := ckpt.WriteAtomic(*traceOut, traceB.WriteJSON); err != nil {
 			return fail(err)
 		}
 		stderr.Printf("psim: wrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
 	return 0
-}
-
-// writeTo creates path, runs the writer against it and surfaces every
-// error, including the final Close — a truncated trace must not pass
-// silently.
-func writeTo(path string, write func(w io.Writer) error) error {
-	fh, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(fh); err != nil {
-		fh.Close()
-		return err
-	}
-	return fh.Close()
-}
-
-func loadTrace(file, model string, jobs int, seed int64, estimates string) (*workload.Trace, error) {
-	if file != "" {
-		fh, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer fh.Close()
-		return pjs.ReadSWF(fh, file)
-	}
-	m, ok := pjs.ModelByName(model)
-	if !ok {
-		return nil, fmt.Errorf("unknown model %q (want CTC, SDSC or KTH)", model)
-	}
-	est := pjs.EstimateAccurate
-	switch estimates {
-	case "accurate":
-	case "inaccurate":
-		est = pjs.EstimateInaccurate
-	default:
-		return nil, fmt.Errorf("unknown -estimates %q", estimates)
-	}
-	return pjs.Generate(m, pjs.GenOptions{Jobs: jobs, Seed: seed, Estimates: est}), nil
 }
 
 func summaryTable(sum *metrics.Summary, coarse bool) *report.Table {

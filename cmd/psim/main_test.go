@@ -7,50 +7,9 @@ import (
 	"testing"
 
 	"pjs"
+	"pjs/internal/ckpt"
 	"pjs/internal/metrics"
 )
-
-func TestLoadTraceSynthetic(t *testing.T) {
-	tr, err := loadTrace("", "SDSC", 200, 1, "accurate")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tr.Procs != 128 || len(tr.Jobs) != 200 {
-		t.Errorf("procs=%d jobs=%d", tr.Procs, len(tr.Jobs))
-	}
-}
-
-func TestLoadTraceErrors(t *testing.T) {
-	if _, err := loadTrace("", "NOPE", 10, 1, "accurate"); err == nil {
-		t.Error("unknown model should fail")
-	}
-	if _, err := loadTrace("", "CTC", 10, 1, "weird"); err == nil {
-		t.Error("unknown estimate mode should fail")
-	}
-	if _, err := loadTrace("/does/not/exist.swf", "", 0, 0, ""); err == nil {
-		t.Error("missing file should fail")
-	}
-}
-
-func TestLoadTraceFromSWFFile(t *testing.T) {
-	tr := pjs.Generate(pjs.KTH(), pjs.GenOptions{Jobs: 30, Seed: 4})
-	path := filepath.Join(t.TempDir(), "trace.swf")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := pjs.WriteSWF(f, tr); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	back, err := loadTrace(path, "", 0, 0, "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(back.Jobs) != 30 {
-		t.Errorf("jobs = %d, want 30", len(back.Jobs))
-	}
-}
 
 // TestRunErrorPaths drives every user-input failure through run() and
 // asserts a non-zero exit code plus a friendly stderr message — the CLI
@@ -69,11 +28,12 @@ func TestRunErrorPaths(t *testing.T) {
 		{"unknown scheduler", []string{"-sched", "lottery"}, 1, "unknown scheduler"},
 		{"bad suspension factor", []string{"-sched", "ss:0.5"}, 1, "must be ≥ 1"},
 		{"unknown filter", []string{"-filter", "great"}, 1, `unknown -filter "great"`},
-		{"unknown estimates", []string{"-estimates", "psychic"}, 1, `unknown -estimates "psychic"`},
+		{"unknown estimates", []string{"-estimates", "psychic"}, 1, `unknown estimate mode "psychic"`},
 		{"negative mtbf", []string{"-mtbf", "-1"}, 1, "-mtbf and -mttr must be"},
 		{"negative mttr", []string{"-mtbf", "1", "-mttr", "-2"}, 1, "-mtbf and -mttr must be"},
 		{"missing trace file", []string{"-trace", "/nonexistent/x.swf"}, 1, "no such file"},
 		{"unwritable dump", []string{"-jobs", "5", "-dump", "/nonexistent/dir/out.csv"}, 1, "no such file"},
+		{"missing resume file", []string{"-resume", "/nonexistent/run.ckpt"}, 1, "no such file"},
 		{
 			// Permanent failures (MTTR 0) with a 36 s per-processor MTBF
 			// kill the whole machine long before the trace drains; the
@@ -99,10 +59,12 @@ func TestRunErrorPaths(t *testing.T) {
 }
 
 // TestRunHappyPath sanity-checks a tiny real run through the CLI entry
-// point, including the fault summary line gated on -mtbf.
+// point, including the fault summary line gated on -mtbf and the
+// atomically written -dump CSV.
 func TestRunHappyPath(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "jobs.csv")
 	var stdout, stderr strings.Builder
-	code := run([]string{"-jobs", "50", "-sched", "ns", "-verify"}, &stdout, &stderr)
+	code := run([]string{"-jobs", "50", "-sched", "ns", "-verify", "-dump", dump}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
 	}
@@ -112,6 +74,9 @@ func TestRunHappyPath(t *testing.T) {
 	}
 	if strings.Contains(out, "faults:") {
 		t.Errorf("fault summary printed without -mtbf:\n%s", out)
+	}
+	if data, err := os.ReadFile(dump); err != nil || len(data) == 0 {
+		t.Errorf("-dump file missing or empty: %v", err)
 	}
 
 	stdout.Reset()
@@ -123,6 +88,114 @@ func TestRunHappyPath(t *testing.T) {
 	if !strings.Contains(stdout.String(), "faults: failures=") {
 		t.Errorf("no fault summary line with -mtbf set:\n%s", stdout.String())
 	}
+}
+
+// TestInterruptCheckpointResume is the CLI-level crash-equivalence
+// check: a run killed by the -max-wall watchdog exits 3 with a saved
+// checkpoint, and resuming it reproduces the uninterrupted run's
+// stdout byte for byte.
+func TestInterruptCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-jobs", "150", "-seed", "3", "-sched", "ss:2", "-overhead", "-verify"}
+
+	var fullOut, fullErr strings.Builder
+	if code := run(common, &fullOut, &fullErr); code != 0 {
+		t.Fatalf("reference run: exit %d, stderr: %s", code, fullErr.String())
+	}
+
+	var intOut, intErr strings.Builder
+	args := append(append([]string{}, common...),
+		"-ckpt-every", "500", "-ckpt-dir", dir, "-max-wall", "1ns")
+	if code := run(args, &intOut, &intErr); code != 3 {
+		t.Fatalf("interrupted run: exit %d, want 3 (stderr: %s)", code, intErr.String())
+	}
+	ckptPath := filepath.Join(dir, "psim.ckpt")
+	if !strings.Contains(intErr.String(), "checkpoint saved") ||
+		!strings.Contains(intErr.String(), "-resume "+ckptPath) {
+		t.Errorf("interrupt diagnostics missing resume hint:\n%s", intErr.String())
+	}
+	if fi, err := os.Stat(ckptPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file missing or empty: %v", err)
+	}
+
+	var resOut, resErr strings.Builder
+	if code := run([]string{"-resume", ckptPath, "-verify"}, &resOut, &resErr); code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, resErr.String())
+	}
+	if !strings.Contains(resErr.String(), "resuming") {
+		t.Errorf("no resume notice on stderr:\n%s", resErr.String())
+	}
+	if resOut.String() != fullOut.String() {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s",
+			fullOut.String(), resOut.String())
+	}
+}
+
+// TestResumeRejectsBadCheckpoints: corruption, version skew and a
+// mismatched watermark must each fail loudly, never silently resume.
+func TestResumeRejectsBadCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+
+	save := func(name string, c *ckpt.Checkpoint) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := c.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := &ckpt.Checkpoint{
+		Workload: ckpt.WorkloadSpec{Kind: ckpt.KindSynthetic, Model: "SDSC", Jobs: 30, Seed: 1, Estimates: "accurate", Load: 1},
+		Sched:    "fcfs",
+	}
+
+	t.Run("corrupt", func(t *testing.T) {
+		path := save("corrupt.ckpt", good)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-resume", path}, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(stderr.String(), "corrupt") {
+			t.Errorf("stderr should name the corruption: %s", stderr.String())
+		}
+	})
+
+	t.Run("version skew", func(t *testing.T) {
+		path := filepath.Join(dir, "future.ckpt")
+		if err := os.WriteFile(path, ckpt.Seal("pjsckpt", 99, []byte("{}")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-resume", path}, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(stderr.String(), "v99") {
+			t.Errorf("stderr should name the version skew: %s", stderr.String())
+		}
+	})
+
+	t.Run("mismatched watermark", func(t *testing.T) {
+		bad := *good
+		bad.Events = 10
+		bad.AuditHash = 0xdeadbeef
+		bad.AuditEntries = 3
+		path := save("mismatch.ckpt", &bad)
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-resume", path}, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(stderr.String(), "does not match checkpoint watermark") {
+			t.Errorf("stderr should report the watermark mismatch: %s", stderr.String())
+		}
+	})
 }
 
 func TestSummaryTableShapes(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"pjs"
+	"pjs/internal/ckpt"
 	"pjs/internal/cli"
 	"pjs/internal/workload"
 )
@@ -88,15 +89,12 @@ func tracegen(args []string, stdout, stderr *cli.W) int {
 	}
 
 	if *out != "" {
-		fh, err := os.Create(*out)
+		// Atomic temp+rename: a crash mid-write never leaves a truncated
+		// trace at the target path.
+		err := ckpt.WriteAtomic(*out, func(w io.Writer) error {
+			return pjs.WriteSWF(w, trace)
+		})
 		if err != nil {
-			return fail(err)
-		}
-		if err := pjs.WriteSWF(fh, trace); err != nil {
-			fh.Close()
-			return fail(err)
-		}
-		if err := fh.Close(); err != nil {
 			return fail(err)
 		}
 	} else if err := pjs.WriteSWF(stdout, trace); err != nil {

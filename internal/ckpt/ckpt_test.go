@@ -1,0 +1,230 @@
+package ckpt
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pjs/internal/workload"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload := []byte(`{"hello":"world"}`)
+	data := Seal("pjstest", 3, payload)
+	back, err := Open("pjstest", 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(payload) {
+		t.Errorf("payload round trip: got %q want %q", back, payload)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	data := Seal("pjstest", 1, []byte("payload bytes"))
+	// Flip one payload byte: the checksum must catch it.
+	for _, i := range []int{0, len(data) / 2, len(data) - crcTrailerLen - 1} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Open("pjstest", 1, bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flipped byte %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Truncation in every prefix length must be rejected, not crash.
+	for n := 0; n < len(data); n++ {
+		if _, err := Open("pjstest", 1, data[:n]); err == nil {
+			t.Errorf("truncated to %d bytes: accepted", n)
+		}
+	}
+}
+
+func TestOpenRejectsVersionSkew(t *testing.T) {
+	data := Seal("pjstest", 2, []byte("x"))
+	if _, err := Open("pjstest", 1, data); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: err = %v, want ErrVersion", err)
+	}
+	if _, err := Open("other", 2, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("kind mismatch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := &Checkpoint{
+		Workload: WorkloadSpec{Kind: KindSynthetic, Model: "SDSC", Jobs: 500, Seed: 7, Estimates: "accurate", Load: 1.3},
+		Sched:    "ss:2",
+		Opt:      OptSpec{Overhead: true, MTBF: 3600, MTTR: 600, FaultSeed: 5},
+		Events:   123456,
+		Now:      987654321,
+		// Extremes prove the uint64 hash survives the JSON round trip
+		// without float truncation.
+		AuditHash:    0xfedcba9876543210,
+		AuditEntries: 4242,
+	}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *c {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, c)
+	}
+}
+
+func TestLoadRejectsTamperedCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := &Checkpoint{Workload: WorkloadSpec{Kind: KindSynthetic, Model: "KTH", Jobs: 10}, Sched: "fcfs", Events: 9}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker-free but realistic failure: a partially flushed page
+	// of zeros in the middle of the file.
+	bad := append([]byte(nil), data...)
+	copy(bad[len(bad)/2:], make([]byte, 8))
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tampered checkpoint: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteAtomicFailureLeavesTargetAndNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileAtomic(path, []byte("good content")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk exploded")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial gar"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the write callback's error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "good content" {
+		t.Errorf("failed write clobbered the target: %q", got)
+	}
+	ents, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind after failure", e.Name())
+		}
+	}
+}
+
+func TestWorkloadSpecBuildSynthetic(t *testing.T) {
+	spec := &WorkloadSpec{Kind: KindSynthetic, Model: "SDSC", Jobs: 200, Seed: 1, Estimates: "accurate"}
+	tr, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs != 128 || len(tr.Jobs) != 200 {
+		t.Errorf("procs=%d jobs=%d, want 128/200", tr.Procs, len(tr.Jobs))
+	}
+	// Two builds of the same spec must be the same workload: pin job
+	// identity fields, which is what replay determinism rests on.
+	tr2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Jobs {
+		a, b := tr.Jobs[i], tr2.Jobs[i]
+		if a.ID != b.ID || a.SubmitTime != b.SubmitTime || a.RunTime != b.RunTime ||
+			a.Estimate != b.Estimate || a.Procs != b.Procs {
+			t.Fatalf("job %d differs between identical builds: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadSpecBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec WorkloadSpec
+		want string
+	}{
+		{"unknown model", WorkloadSpec{Kind: KindSynthetic, Model: "LANL", Jobs: 5}, "unknown model"},
+		{"unknown estimates", WorkloadSpec{Kind: KindSynthetic, Model: "CTC", Jobs: 5, Estimates: "psychic"}, "unknown estimate mode"},
+		{"no jobs", WorkloadSpec{Kind: KindSynthetic, Model: "CTC"}, "positive job count"},
+		{"missing file", WorkloadSpec{Kind: KindSWF, File: "/does/not/exist.swf"}, "no such file"},
+		{"unknown kind", WorkloadSpec{Kind: "punchcards"}, "unknown workload kind"},
+	}
+	for _, c := range cases {
+		spec := c.spec
+		_, err := spec.Build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWorkloadSpecSWFFingerprint(t *testing.T) {
+	tr := workload.Generate(workload.KTH(), workload.GenOptions{Jobs: 30, Seed: 4})
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	err := WriteAtomic(path, func(w io.Writer) error { return workload.WriteSWF(w, tr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &WorkloadSpec{Kind: KindSWF, File: path}
+	back, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 30 {
+		t.Errorf("jobs = %d, want 30", len(back.Jobs))
+	}
+	if spec.FileHash == 0 {
+		t.Fatal("first build did not record the file fingerprint")
+	}
+	// Rebuild with the recorded fingerprint: same bytes, accepted.
+	if _, err := spec.Build(); err != nil {
+		t.Fatalf("unchanged file rejected: %v", err)
+	}
+	// Append one job's worth of noise: resume must refuse.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(); err == nil || !strings.Contains(err.Error(), "changed since the checkpoint") {
+		t.Errorf("edited trace file accepted on resume: err = %v", err)
+	}
+}
+
+func TestOptSpecOptions(t *testing.T) {
+	opt := OptSpec{Overhead: true, Contiguous: true, MaxSteps: 99, MTBF: 100, MTTR: 7, FaultSeed: 3}.Options()
+	if opt.Overhead == nil || !opt.ContiguousAlloc || opt.MaxSteps != 99 {
+		t.Errorf("options not expanded: %+v", opt)
+	}
+	if !opt.Faults.Enabled() || opt.Faults.MTTR != 7 || opt.Faults.Seed != 3 {
+		t.Errorf("faults not expanded: %+v", opt.Faults)
+	}
+	none := OptSpec{}.Options()
+	if none.Overhead != nil || none.Faults.Enabled() {
+		t.Errorf("zero spec expanded to non-zero options: %+v", none)
+	}
+}

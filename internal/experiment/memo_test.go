@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pjs/internal/metrics"
+	"pjs/internal/workload"
+)
+
+func memoRunner(t *testing.T, dir string) *Runner {
+	t.Helper()
+	return NewRunner(Config{
+		Jobs:    120,
+		Seed:    5,
+		MemoDir: dir,
+		Warnf:   func(format string, args ...any) { t.Logf("warn: "+format, args...) },
+	})
+}
+
+// resultFingerprint summarizes everything the experiment layer consumes
+// from a Result, so a recalled memo proving equal fingerprints proves
+// the cache is transparent.
+func resultFingerprint(r *Runner, sc Scheme) string {
+	res := r.Result("SDSC", workload.EstimateAccurate, 100, sc, true)
+	sum := metrics.FromResult(res, metrics.All)
+	return fmt.Sprintf("trace=%s sched=%s util=%.6f utilLoaded=%.6f span=%d-%d susp=%d jobs=%d sd=%.6f tat=%.3f wait=%.3f",
+		res.Trace, res.Scheduler, res.Utilization, res.UtilizationLoaded,
+		res.Start, res.End, res.Suspensions, len(res.Jobs),
+		sum.Overall.MeanSlowdown, sum.Overall.MeanTurnaround, sum.Overall.MeanWait)
+}
+
+func TestMemoRoundTripIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fresh := resultFingerprint(memoRunner(t, dir), SS(2))
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasSuffix(ents[0].Name(), ".memo") {
+		t.Fatalf("expected one .memo file, got %v", ents)
+	}
+
+	recalled := resultFingerprint(memoRunner(t, dir), SS(2))
+	if recalled != fresh {
+		t.Errorf("memoized result differs from fresh run:\n fresh:    %s\n recalled: %s", fresh, recalled)
+	}
+}
+
+func TestMemoCorruptEntryRegenerated(t *testing.T) {
+	dir := t.TempDir()
+	fresh := resultFingerprint(memoRunner(t, dir), SS(2))
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("expected one memo file: %v %v", ents, err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+
+	recalled := resultFingerprint(memoRunner(t, dir), SS(2))
+	if recalled != fresh {
+		t.Errorf("regenerated result differs from fresh run:\n fresh:       %s\n regenerated: %s", fresh, recalled)
+	}
+	// The corrupt entry must have been rewritten with a valid one.
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(before, after) && before.Size() == after.Size() {
+		data2, _ := os.ReadFile(path)
+		if string(data2) == string(data) {
+			t.Error("corrupt memo entry was left in place, not regenerated")
+		}
+	}
+	if _, ok := memoRunner(t, dir).loadMemo(memoRunner(t, dir).memoKey(runKey{
+		tk: traceKey{"SDSC", workload.EstimateAccurate, 100}, scheme: SS(2).Label, overhead: true,
+	})); !ok {
+		t.Error("regenerated memo entry does not validate")
+	}
+}
+
+// TestMemoKeyMismatchIsMiss: an entry written under a different
+// configuration (here: another seed) must not be recalled even if it
+// lands at the same path.
+func TestMemoKeyMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := memoRunner(t, dir)
+	_ = resultFingerprint(a, SS(2))
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("expected one memo file, got %d", len(ents))
+	}
+
+	// A runner with a different seed hashes to a different path; force
+	// the collision by renaming the old entry onto the new path.
+	b := NewRunner(Config{Jobs: 120, Seed: 6, MemoDir: dir})
+	bk := b.memoKey(runKey{tk: traceKey{"SDSC", workload.EstimateAccurate, 100}, scheme: SS(2).Label, overhead: true})
+	if err := os.Rename(filepath.Join(dir, ents[0].Name()), b.memoPath(bk)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.loadMemo(bk); ok {
+		t.Error("memo entry for seed 5 was recalled for seed 6")
+	}
+}
+
+func TestMemoSaveFailureWarnsButSucceeds(t *testing.T) {
+	warned := false
+	r := NewRunner(Config{
+		Jobs:    50,
+		Seed:    5,
+		MemoDir: "/nonexistent/memo/dir",
+		Warnf:   func(string, ...any) { warned = true },
+	})
+	res := r.Result("SDSC", workload.EstimateAccurate, 100, NS(), false)
+	if res == nil || len(res.Jobs) != 50 {
+		t.Fatal("run failed under an unwritable memo dir")
+	}
+	if !warned {
+		t.Error("no warning for the failed memo save")
+	}
+}

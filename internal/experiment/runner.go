@@ -41,8 +41,18 @@ type Config struct {
 	// Counters, when non-nil, observes every simulation the runner
 	// executes, keyed per scheme label. Because runs are memoized, a
 	// run's counts land on the first experiment that actually executes
-	// it; later experiments recalling the memoized result add nothing.
+	// it; later experiments recalling the memoized result add nothing
+	// — and a run recalled from the MemoDir disk cache adds nothing
+	// either.
 	Counters *obs.Registry
+	// MemoDir, when set, persists each simulation result as a
+	// checksummed memo file (memo.go) so an interrupted sweep resumes
+	// without recomputing finished runs. Corrupt, truncated or foreign
+	// entries fail validation and are silently regenerated.
+	MemoDir string
+	// Warnf receives non-fatal diagnostics (e.g. a memo save failure);
+	// nil discards them.
+	Warnf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -279,6 +289,15 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 	if res, ok := r.results[rk]; ok {
 		return res
 	}
+	if r.cfg.MemoDir != "" {
+		// A disk-memoized run was verified (if Verify) before it was
+		// saved; recalling it skips the checker along with the
+		// simulation.
+		if res, ok := r.loadMemo(r.memoKey(rk)); ok {
+			r.results[rk] = res
+			return res
+		}
+	}
 	t := r.Trace(rk.tk.model, rk.tk.est, rk.tk.loadPct)
 	opt := sched.Options{MaxSteps: r.cfg.MaxSteps, Audit: r.cfg.Verify}
 	if oh {
@@ -296,6 +315,9 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 		res.Audit = nil // free the memory once checked
 	}
 	r.results[rk] = res
+	if r.cfg.MemoDir != "" {
+		r.saveMemo(r.memoKey(rk), res)
+	}
 	return res
 }
 

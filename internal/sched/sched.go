@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -94,6 +95,12 @@ type Options struct {
 	// zero value (the default) injects nothing and leaves the run
 	// byte-identical to a build without the fault subsystem.
 	Faults fault.Config
+	// Checkpoint enables periodic watermark checkpointing (see
+	// lifecycle.go); nil disables it at zero cost.
+	Checkpoint *CheckpointConfig
+	// Resume fast-forwards the run to a previously saved watermark,
+	// verifying the audit-prefix hash there; nil runs from the start.
+	Resume *ResumeSpec
 }
 
 // Result is the outcome of one simulation run.
@@ -158,81 +165,13 @@ func Run(t *workload.Trace, s Scheduler, opt Options) *Result {
 // RunChecked simulates trace t under policy s, returning an error —
 // never panicking — for the run-level failure modes: a trace that fails
 // validation, Options.MaxSteps exhaustion (errors.Is sim.ErrMaxSteps),
-// a scheduler that strands jobs (errors.Is sim.ErrDeadlock), and jobs
+// a scheduler that strands jobs (errors.Is sim.ErrDeadlock), jobs
 // wider than the surviving machine under permanent fault injection
-// (errors.Is ErrUnfinishable). Simulator invariant violations still
-// panic — those are bugs, not run conditions.
+// (errors.Is ErrUnfinishable), and a panic inside the policy or engine
+// (errors.As *PanicError, carrying a deterministic postmortem).
+// RunContext adds cancellation and checkpoint/resume on top.
 func RunChecked(t *workload.Trace, s Scheduler, opt Options) (*Result, error) {
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("sched: invalid trace: %w", err)
-	}
-	oh := opt.Overhead
-	if oh == nil {
-		oh = overhead.None{}
-	}
-	env := &Env{
-		Cluster:  cluster.New(t.Procs),
-		Overhead: oh,
-		sched:    s,
-		byID:     make(map[int]*job.Job),
-		obs:      opt.Observer,
-	}
-	if opt.ContiguousAlloc {
-		env.Cluster.SetAllocPolicy(cluster.BestFitContiguous)
-	}
-	if opt.Audit {
-		env.Audit = &AuditLog{Procs: t.Procs}
-	}
-	env.engine = sim.New(env, s.TickInterval())
-	if opt.MaxSteps > 0 {
-		env.engine.SetMaxSteps(opt.MaxSteps)
-	}
-	jobs := t.CloneJobs()
-	env.jobs = jobs
-	for _, j := range jobs {
-		env.engine.AddJob(j)
-		env.byID[j.ID] = j
-	}
-	if opt.Faults.Enabled() {
-		env.faults = fault.NewInjector(opt.Faults)
-		// Every processor's first failure is scheduled up front; repairs
-		// and subsequent failures chain one event at a time, so at most
-		// one fault event per processor is ever pending.
-		for p := 0; p < t.Procs; p++ {
-			env.engine.ScheduleProcFail(p, env.faults.FailDelay(p))
-		}
-	}
-	s.Init(env)
-	end, err := env.engine.Run()
-	if err != nil {
-		return nil, fmt.Errorf("sched: %s on %s: %w", s.Name(), t.Name, err)
-	}
-
-	res := &Result{
-		Trace:           t.Name,
-		Scheduler:       s.Name(),
-		Jobs:            jobs,
-		Start:           jobs[0].SubmitTime,
-		End:             end,
-		Failures:        env.failures,
-		Repairs:         env.repairs,
-		FailKills:       env.failKills,
-		ImagesLost:      env.imagesLost,
-		LostWorkSeconds: env.lostWork,
-		Audit:           env.Audit,
-	}
-	for _, j := range jobs {
-		if j.State != job.Finished {
-			panic(fmt.Sprintf("sched: %s left %v unfinished", s.Name(), j))
-		}
-		res.Suspensions += j.Suspensions
-	}
-	res.Utilization = env.Cluster.Utilization(res.Start, res.End)
-	if env.lastArrival > res.Start {
-		res.UtilizationLoaded = float64(env.busyAtLastArrival) /
-			float64(int64(t.Procs)*(env.lastArrival-res.Start))
-	}
-	return res, nil
+	return RunContext(context.Background(), t, s, opt)
 }
 
 // Env is the execution environment handed to a policy: the cluster, the
@@ -266,6 +205,17 @@ type Env struct {
 	// for the loaded-period utilization metric.
 	lastArrival       int64
 	busyAtLastArrival int64
+
+	// Run-lifecycle state (lifecycle.go): the streaming audit-prefix
+	// hash that watermarks deterministic progress, and resume
+	// fast-forward tracking. obsSaved holds the muted observer until
+	// the watermark is reached.
+	hashOn      bool
+	hash        uint64
+	hashEntries int64
+	resume      *ResumeSpec
+	resumeDone  bool
+	obsSaved    Observer
 }
 
 // pendingStart is a job committed to start on a claimed processor set as
@@ -360,12 +310,7 @@ func (e *Env) dispatch(j *job.Job, readOH int64) {
 	if wasSuspended {
 		act = ActResume
 	}
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), act, j, j.ProcSet)
-	}
-	if e.obs != nil {
-		e.emit(act, j, j.ProcSet)
-	}
+	e.audit(act, j, j.ProcSet)
 }
 
 // PreemptAndStart suspends the victim jobs and commits j to start on
@@ -401,12 +346,7 @@ func (e *Env) Kill(j *job.Job) {
 	e.Cluster.Release(e.Now(), j.ID, set)
 	e.nRunning--
 	e.nQueued++
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), ActKill, j, set)
-	}
-	if e.obs != nil {
-		e.emit(ActKill, j, set)
-	}
+	e.audit(ActKill, j, set)
 	e.activatePending()
 }
 
@@ -425,12 +365,7 @@ func (e *Env) beginSuspend(v *job.Job) {
 	v.Preempt(e.Now())
 	e.nRunning--
 	e.nSuspended++
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), ActSuspendBegin, v, v.ProcSet)
-	}
-	if e.obs != nil {
-		e.emit(ActSuspendBegin, v, v.ProcSet)
-	}
+	e.audit(ActSuspendBegin, v, v.ProcSet)
 	e.engine.ScheduleSuspendDone(v, e.Now()+e.Overhead.WriteTime(v))
 }
 
@@ -459,12 +394,7 @@ func (e *Env) HandleArrival(j *job.Job) {
 	e.lastArrival = e.Now()
 	e.busyAtLastArrival = e.Cluster.BusyIntegral(e.Now())
 	e.nQueued++
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), ActArrive, j, nil)
-	}
-	if e.obs != nil {
-		e.emit(ActArrive, j, nil)
-	}
+	e.audit(ActArrive, j, nil)
 	e.sched.OnArrival(j)
 }
 
@@ -474,12 +404,7 @@ func (e *Env) HandleCompletion(j *job.Job) {
 	j.Complete(e.Now())
 	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
 	e.nRunning--
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), ActFinish, j, j.ProcSet)
-	}
-	if e.obs != nil {
-		e.emit(ActFinish, j, j.ProcSet)
-	}
+	e.audit(ActFinish, j, j.ProcSet)
 	e.engine.JobFinished()
 	e.activatePending()
 	e.sched.OnCompletion(j)
@@ -489,12 +414,7 @@ func (e *Env) HandleCompletion(j *job.Job) {
 func (e *Env) HandleSuspendDone(j *job.Job) {
 	j.SuspendDone()
 	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
-	if e.Audit != nil {
-		e.Audit.add(e.Now(), ActSuspendDone, j, j.ProcSet)
-	}
-	if e.obs != nil {
-		e.emit(ActSuspendDone, j, j.ProcSet)
-	}
+	e.audit(ActSuspendDone, j, j.ProcSet)
 	e.activatePending()
 	e.sched.OnSuspendDone(j)
 }
@@ -512,12 +432,7 @@ func (e *Env) HandleProcFail(p int) {
 	now := e.Now()
 	e.Cluster.Fail(now, p)
 	e.failures++
-	if e.Audit != nil {
-		e.Audit.addProc(now, ActProcFail, p)
-	}
-	if e.obs != nil {
-		e.emit(ActProcFail, nil, []int{p})
-	}
+	e.auditProc(ActProcFail, p)
 
 	var requeued []*job.Job
 	// Abort pending starts whose claimed set includes p. The claim can
@@ -551,12 +466,7 @@ func (e *Env) HandleProcFail(p int) {
 		e.nQueued++
 		e.failKills++
 		e.lostWork += lost
-		if e.Audit != nil {
-			e.Audit.add(now, ActKill, v, set)
-		}
-		if e.obs != nil {
-			e.emitLost(ActKill, v, set, lost)
-		}
+		e.auditLost(ActKill, v, set, lost)
 		requeued = append(requeued, v)
 	}
 
@@ -574,12 +484,7 @@ func (e *Env) HandleProcFail(p int) {
 		e.nQueued++
 		e.imagesLost++
 		e.lostWork += lost
-		if e.Audit != nil {
-			e.Audit.add(now, ActImageLost, j, set)
-		}
-		if e.obs != nil {
-			e.emitLost(ActImageLost, j, set, lost)
-		}
+		e.auditLost(ActImageLost, j, set, lost)
 		requeued = append(requeued, j)
 	}
 	requeued = dedupeJobs(requeued)
@@ -611,12 +516,7 @@ func (e *Env) HandleProcRepair(p int) {
 	now := e.Now()
 	e.Cluster.Repair(now, p)
 	e.repairs++
-	if e.Audit != nil {
-		e.Audit.addProc(now, ActProcRepair, p)
-	}
-	if e.obs != nil {
-		e.emit(ActProcRepair, nil, []int{p})
-	}
+	e.auditProc(ActProcRepair, p)
 	e.engine.ScheduleProcFail(p, now+e.faults.FailDelay(p))
 	e.sched.OnRepair(p)
 }

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,6 +63,10 @@ var (
 	ErrDeadlock = errors.New("sim: deadlock, no pending events but unfinished jobs remain")
 	// ErrMaxSteps: the SetMaxSteps safety valve tripped (livelock?).
 	ErrMaxSteps = errors.New("sim: step limit exceeded")
+	// ErrCanceled: the SetContext context was done, and the run stopped
+	// at an event boundary. The engine state is intact and consistent —
+	// the run-lifecycle layer takes a final checkpoint from it.
+	ErrCanceled = errors.New("sim: run canceled")
 )
 
 // Event is a scheduled occurrence. Job events carry the job's Epoch at
@@ -108,6 +113,8 @@ type Engine struct {
 	steps        int64
 	maxSteps     int64
 	abortErr     error
+	ctx          context.Context
+	stepHook     func(steps int64) error
 }
 
 // New returns an engine delivering events to h. tickInterval of 0
@@ -125,6 +132,29 @@ func (e *Engine) Steps() int64 { return e.steps }
 // SetMaxSteps installs a safety valve: Run returns ErrMaxSteps after n
 // events. Zero (the default) means no limit. Used to catch livelocks.
 func (e *Engine) SetMaxSteps(n int64) { e.maxSteps = n }
+
+// ctxCheckMask throttles the cancellation poll: ctx.Err() is consulted
+// every ctxCheckMask+1 events (and before the very first one), keeping
+// the hot loop free of per-event synchronization while still stopping
+// within a bounded number of events of cancellation.
+const ctxCheckMask = 255
+
+// SetContext installs a cancellation context: Run stops with a wrapped
+// ErrCanceled at an event boundary shortly after ctx is done. The
+// context error itself is also in the wrap chain, so callers can
+// distinguish an operator interrupt (context.Canceled) from a watchdog
+// deadline (context.DeadlineExceeded). A nil ctx — the default —
+// never cancels. Cancellation affects only *when* the run stops, never
+// what it computes: every event processed before the stop is identical
+// to the uninterrupted run's.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetStepHook installs fn, invoked after every processed event with
+// the cumulative event count; a non-nil return stops Run with that
+// error. The run-lifecycle layer (internal/sched) uses the hook for
+// checkpoint watermarks and resume fast-forward — the hook must not
+// mutate simulation state, or determinism is lost.
+func (e *Engine) SetStepHook(fn func(steps int64) error) { e.stepHook = fn }
 
 // Abort requests that Run stop with the given error after the current
 // handler returns. Handlers call it when they detect an unrecoverable
@@ -205,14 +235,21 @@ func stale(ev *Event) bool {
 // Run processes events until all jobs have finished and returns the
 // finish time of the last job (the makespan end). It fails with a
 // wrapped ErrDeadlock when the queue drains early, a wrapped
-// ErrMaxSteps when the safety valve trips, or the handler's Abort
-// error; on error the returned time is the time reached so far.
+// ErrMaxSteps when the safety valve trips, a wrapped ErrCanceled when
+// the SetContext context is done, the step hook's error, or the
+// handler's Abort error; on error the returned time is the time
+// reached so far.
 func (e *Engine) Run() (int64, error) {
 	if e.tickInterval > 0 && e.heap.len() > 0 {
 		e.nextTick = e.heap.min().Time + e.tickInterval
 		e.push(&Event{Time: e.nextTick, Kind: Tick})
 	}
 	for e.finishedJobs < e.totalJobs {
+		if e.ctx != nil && e.steps&ctxCheckMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return e.now, fmt.Errorf("%w after %d events at t=%d: %w", ErrCanceled, e.steps, e.now, err)
+			}
+		}
 		if e.heap.len() == 0 {
 			return e.now, fmt.Errorf("%w at t=%d with %d/%d jobs finished",
 				ErrDeadlock, e.now, e.finishedJobs, e.totalJobs)
@@ -251,6 +288,11 @@ func (e *Engine) Run() (int64, error) {
 		}
 		if e.abortErr != nil {
 			return e.now, e.abortErr
+		}
+		if e.stepHook != nil {
+			if err := e.stepHook(e.steps); err != nil {
+				return e.now, err
+			}
 		}
 	}
 	return e.now, nil

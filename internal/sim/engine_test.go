@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -327,5 +328,73 @@ func TestKindString(t *testing.T) {
 		if k.String() != w {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), w)
 		}
+	}
+}
+
+// TestRunHonorsCanceledContext: a context canceled before the run
+// starts stops it at the first event boundary with a wrapped
+// ErrCanceled that also carries the context's own error.
+func TestRunHonorsCanceledContext(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 100, 100, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	_, err := e.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, should wrap context.Canceled", err)
+	}
+	if len(h.events) != 0 {
+		t.Errorf("canceled-before-start run processed %d events", len(h.events))
+	}
+}
+
+// TestRunStepHook: the hook sees every processed event exactly once,
+// in order, and its error aborts the run.
+func TestRunStepHook(t *testing.T) {
+	h := &recordingHandler{}
+	e := New(h, 0)
+	h.eng = e
+	e.AddJob(job.New(1, 0, 100, 100, 1))
+	e.AddJob(job.New(2, 50, 10, 10, 1))
+	var seen []int64
+	e.SetStepHook(func(steps int64) error {
+		seen = append(seen, steps)
+		return nil
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != len(h.events) {
+		t.Fatalf("hook fired %d times for %d events", len(seen), len(h.events))
+	}
+	for i, s := range seen {
+		if s != int64(i+1) {
+			t.Fatalf("hook call %d reported steps=%d, want %d", i, s, i+1)
+		}
+	}
+
+	// A hook error stops the run and surfaces verbatim.
+	h2 := &recordingHandler{}
+	e2 := New(h2, 0)
+	h2.eng = e2
+	e2.AddJob(job.New(1, 0, 100, 100, 1))
+	boom := errors.New("stop here")
+	e2.SetStepHook(func(steps int64) error {
+		if steps == 1 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := e2.Run(); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the hook's error", err)
+	}
+	if len(h2.events) != 1 {
+		t.Errorf("run continued past the hook error: %d events", len(h2.events))
 	}
 }

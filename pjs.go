@@ -36,6 +36,7 @@
 package pjs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -150,6 +151,16 @@ func Simulate(t *Trace, s Scheduler, opt Options) *Result { return sched.Run(t, 
 // that leaves a job permanently unfinishable (sched.ErrUnfinishable).
 func SimulateChecked(t *Trace, s Scheduler, opt Options) (*Result, error) {
 	return sched.RunChecked(t, s, opt)
+}
+
+// SimulateContext is SimulateChecked with run-lifecycle controls: ctx
+// cancels the run at an event boundary, Options.Checkpoint saves
+// resumable watermarks (a canceled-and-checkpointed run returns
+// *sched.InterruptedError), and Options.Resume fast-forwards to a
+// saved watermark and continues byte-identically to the uninterrupted
+// run. See internal/sched's RunContext for the full contract.
+func SimulateContext(ctx context.Context, t *Trace, s Scheduler, opt Options) (*Result, error) {
+	return sched.RunContext(ctx, t, s, opt)
 }
 
 // Summarize computes the paper's metrics from a run.
