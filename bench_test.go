@@ -11,6 +11,7 @@ import (
 	"pjs/internal/experiment"
 	"pjs/internal/job"
 	"pjs/internal/metrics"
+	"pjs/internal/perf"
 	"pjs/internal/workload"
 )
 
@@ -24,12 +25,25 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	var events int64
 	for i := 0; i < b.N; i++ {
 		r := experiment.NewRunner(experiment.Config{Jobs: benchJobs, Seed: 1})
 		out := e.Run(r)
 		if out.Render() == "" {
 			b.Fatalf("%s produced no output", id)
 		}
+		events += r.EventsSimulated()
+	}
+	reportEventsPerSec(b, events)
+}
+
+// reportEventsPerSec attaches simulation throughput — engine events per
+// wall-clock second across all iterations — as a custom metric, the
+// same events/s pjsbench reports, so `go test -bench` output and
+// BENCH.json speak one unit.
+func reportEventsPerSec(b *testing.B, events int64) {
+	if s := b.Elapsed().Seconds(); s > 0 && events > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
 	}
 }
 
@@ -64,6 +78,7 @@ func reportOverall(b *testing.B, model string, est workload.EstimateMode, sc exp
 // Theory figures.
 
 func BenchmarkFig4to6TwoTask(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, id := range []string{"fig4", "fig5", "fig6"} {
 			e, _ := experiment.ByID(id)
@@ -153,17 +168,18 @@ func BenchmarkAblationAlloc(b *testing.B)          { benchExperiment(b, "ablatio
 
 func benchScheduler(b *testing.B, spec string) {
 	trace := Generate(SDSC(), GenOptions{Jobs: 2000, Seed: 9})
-	s, err := NewScheduler(spec)
-	if err != nil {
+	if _, err := NewScheduler(spec); err != nil {
 		b.Fatal(err)
 	}
-	_ = s
 	b.ReportAllocs()
 	b.ResetTimer()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		s, _ := NewScheduler(spec)
-		Simulate(trace, s, Options{})
+		res := Simulate(trace, s, Options{})
+		events += res.Events
 	}
+	reportEventsPerSec(b, events)
 }
 
 func BenchmarkSimulateFCFS(b *testing.B)         { benchScheduler(b, "fcfs") }
@@ -181,4 +197,21 @@ func BenchmarkGenerateTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Generate(CTC(), GenOptions{Jobs: 5000, Seed: int64(i + 1)})
 	}
+}
+
+// BenchmarkSimulateSS2Probed is BenchmarkSimulateSS2 with a hot-path
+// probe attached — the pair pins the cost of self-profiling itself
+// (the delta should stay within noise; spans are two clock reads and
+// two integer adds).
+func BenchmarkSimulateSS2Probed(b *testing.B) {
+	trace := Generate(SDSC(), GenOptions{Jobs: 2000, Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		s, _ := NewScheduler("ss:2")
+		res := Simulate(trace, s, Options{Probe: perf.NewProbe(nil)})
+		events += res.Events
+	}
+	reportEventsPerSec(b, events)
 }

@@ -7,6 +7,7 @@
 //	psim -trace log.swf -sched ns -filter well
 //	psim -model CTC -sched ss:1.5 -estimates inaccurate -load 1.3 -overhead -verify
 //	psim -sched ns -mtbf 500 -mttr 2 -fault-seed 7   # processor fault injection
+//	psim -sched ss:2 -perf                           # hot-path profile on stderr
 //	psim -model SDSC -jobs 50000 -ckpt-every 100000  # crash-safe checkpointing
 //	psim -resume psim.ckpt                           # continue an interrupted run
 //
@@ -40,6 +41,7 @@ import (
 	"pjs/internal/job"
 	"pjs/internal/metrics"
 	"pjs/internal/obs"
+	"pjs/internal/perf"
 	"pjs/internal/report"
 	"pjs/internal/sched"
 )
@@ -89,6 +91,7 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		ckptDir   = fs.String("ckpt-dir", ".", "directory for the checkpoint file (with -ckpt-every)")
 		resume    = fs.String("resume", "", "resume from this checkpoint file (workload/scheduler/options come from it)")
 		maxWall   = fs.Duration("max-wall", 0, "wall-clock budget; an exceeded budget checkpoints (if enabled) and exits 3")
+		perfFlag  = fs.Bool("perf", false, "profile the scheduler hot path and print a per-phase summary to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -226,6 +229,15 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		ctx, cancel = context.WithTimeout(ctx, *maxWall)
 		defer cancel()
 	}
+	// Hot-path profiling writes to stderr only: stdout stays the
+	// deterministic report stream, byte-identical with or without -perf.
+	var perfClock perf.Clock
+	var perfStart int64
+	if *perfFlag {
+		opt.Probe = perf.NewProbe(nil)
+		perfClock = perf.Monotonic()
+		perfStart = perfClock()
+	}
 	res, err := pjs.SimulateContext(ctx, trace, s, opt)
 	if err != nil {
 		var ie *sched.InterruptedError
@@ -236,6 +248,13 @@ func psim(args []string, stdout, stderr *cli.W) int {
 			return 3
 		}
 		return fail(err)
+	}
+	if *perfFlag {
+		elapsed := perfClock() - perfStart
+		stderr.Printf("psim: perf summary (%s on %s)\n", s.Name(), trace.Name)
+		if werr := opt.Probe.Snapshot().WriteSummary(stderr, elapsed, res.Events); werr != nil {
+			return fail(werr)
+		}
 	}
 	if *verify {
 		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !optSpec.Overhead}); err != nil {

@@ -217,3 +217,30 @@ func TestSummaryTableShapes(t *testing.T) {
 		t.Errorf("metric columns missing:\n%s", full)
 	}
 }
+
+// TestPerfFlag checks the hot-path profiling satellite: -perf prints a
+// per-phase summary with throughput to stderr while stdout stays
+// byte-identical to the unprofiled run — the deterministic report
+// stream must not know profiling exists.
+func TestPerfFlag(t *testing.T) {
+	var plainOut, plainErr strings.Builder
+	if code := run([]string{"-jobs", "80", "-sched", "ss:2"}, &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain run exit code = %d, stderr: %s", code, plainErr.String())
+	}
+	var perfOut, perfErr strings.Builder
+	if code := run([]string{"-jobs", "80", "-sched", "ss:2", "-perf"}, &perfOut, &perfErr); code != 0 {
+		t.Fatalf("-perf run exit code = %d, stderr: %s", code, perfErr.String())
+	}
+	if plainOut.String() != perfOut.String() {
+		t.Error("-perf changed stdout; profiling must stay out of the report stream")
+	}
+	es := perfErr.String()
+	for _, want := range []string{"perf summary", "events/sec=", "event-dispatch", "queue-scan"} {
+		if !strings.Contains(es, want) {
+			t.Errorf("-perf stderr missing %q:\n%s", want, es)
+		}
+	}
+	if strings.Contains(plainErr.String(), "events/sec=") {
+		t.Error("perf summary printed without -perf")
+	}
+}

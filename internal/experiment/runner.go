@@ -101,6 +101,12 @@ type Runner struct {
 	results   map[runKey]*sched.Result
 	summaries map[sumKey]*metrics.Summary
 	limits    map[limitKey]*core.StaticLimits
+
+	// eventsSimulated totals the engine events of the fresh simulations
+	// this runner executed — memoized recalls (memory or disk) add
+	// nothing, so the count reflects work actually done, the
+	// denominator benchmarks report events/s against.
+	eventsSimulated int64
 }
 
 // NewRunner returns a Runner with the given configuration.
@@ -116,6 +122,10 @@ func NewRunner(cfg Config) *Runner {
 
 // Config returns the effective configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// EventsSimulated returns the total engine events of the fresh
+// (non-memoized) simulations this runner has executed.
+func (r *Runner) EventsSimulated() int64 { return r.eventsSimulated }
 
 // Trace returns the (memoized) workload for a model, estimate mode and
 // load factor in percent (100 = the original trace).
@@ -307,6 +317,7 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 		opt.Observer = r.cfg.Counters.For(rk.scheme, t.Procs)
 	}
 	res := sched.Run(t, sc.make(r, rk.tk), opt)
+	r.eventsSimulated += res.Events
 	if r.cfg.Verify {
 		copt := check.Options{ZeroOverhead: !oh, AllowMigration: sc.migrates}
 		if err := check.Check(res.Audit, copt); err != nil {

@@ -14,6 +14,7 @@ func BenchmarkLintRepo(b *testing.B) {
 		b.Fatal(err)
 	}
 	checks := AllChecks()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l, err := NewLoader(root)
 		if err != nil {

@@ -84,6 +84,8 @@ var fixtureCases = []struct {
 	full   bool
 }{
 	{check: "wallclock", dir: "wallclock", asPath: "pjs/internal/fixture/wallclock"},
+	{check: "wallclock", dir: "perfclock", asPath: "pjs/internal/perf"},
+	{check: "wallclock", dir: "perfclock_sched", asPath: "pjs/internal/sched/fixture/perfclock"},
 	{check: "detrand", dir: "detrand", asPath: "pjs/fixture/detrand"},
 	{check: "stablesort", dir: "stablesort", asPath: "pjs/internal/sched/fixture/stablesort"},
 	{check: "maporder", dir: "maporder", asPath: "pjs/internal/sim/fixture/maporder"},
@@ -237,6 +239,75 @@ func shadow(rels []rel) {
 	d := diags[0]
 	if d.Check != "stablesort" || d.Pos.Line != 11 {
 		t.Errorf("want stablesort finding at line 11, got %s", d)
+	}
+}
+
+// TestWallclockCatchesBareTimeNowInSched reproduces the acceptance
+// criterion end-to-end in miniature: a bare time.Now() introduced under
+// a pjs/internal/sched path — the exact regression the perf-clock
+// exemption must not open — still yields a wallclock finding.
+func TestWallclockCatchesBareTimeNowInSched(t *testing.T) {
+	dir := t.TempDir()
+	src := `package timing
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "timing.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newTestLoader(t)
+	p, err := l.LoadDir(dir, "pjs/internal/sched/timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(p, AllChecks())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "wallclock" || !strings.Contains(d.Message, "time.Now reads the wall clock") {
+		t.Errorf("want wallclock finding on time.Now, got %s", d)
+	}
+}
+
+// TestPerfClockMarkerNeedsReason pins marker well-formedness: a
+// reason-less //lint:perf-clock is no exemption even inside
+// pjs/internal/perf — the marker is reported AND the call it hovered
+// over still fires. (Tested here rather than in the fixture corpus
+// because a want comment appended to the marker line would read as its
+// reason.)
+func TestPerfClockMarkerNeedsReason(t *testing.T) {
+	dir := t.TempDir()
+	src := `package perf
+
+import "time"
+
+func unjustified() time.Time {
+	//lint:perf-clock
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "perf.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newTestLoader(t)
+	p, err := l.LoadDir(dir, "pjs/internal/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(p, []Check{&WallclockCheck{}})
+	if len(diags) != 2 {
+		t.Fatalf("want exactly 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("first diagnostic should demand a reason: %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "time.Now reads the wall clock") {
+		t.Errorf("second diagnostic should still ban the read: %s", diags[1])
 	}
 }
 

@@ -1,0 +1,33 @@
+// Package fixture exercises the //lint:perf-clock exemption inside its
+// one sanctioned home, pjs/internal/perf: a justified marker on the
+// line (or the line above) silences the wallclock finding, a bare
+// wall-clock read still fires, and a marker covering no banned call is
+// stale. (Marker well-formedness — the missing-reason case — is pinned
+// by TestPerfClockMarkerNeedsReason, which counts diagnostics directly
+// the way the lint:ignore directive fixture does.)
+package fixture
+
+import "time"
+
+// Sanctioned reads the wall clock under justified markers, the shape
+// the real perf.Monotonic constructor uses.
+func Sanctioned() func() int64 {
+	start := time.Now() //lint:perf-clock fixture: monotonic origin
+	return func() int64 {
+		//lint:perf-clock fixture: marker on the line above also covers
+		return int64(time.Since(start))
+	}
+}
+
+// Bare lacks a marker: even inside internal/perf the default is a
+// finding, so each exempted site stays deliberate.
+func Bare() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Stale demonstrates marker hygiene: a marker with nothing to exempt is
+// itself a finding.
+func Stale() int64 {
+	//lint:perf-clock fixture: stale marker demo // want "exempts nothing; delete the stale marker"
+	return time.Unix(0, 0).Unix() // pure conversion, never flagged
+}

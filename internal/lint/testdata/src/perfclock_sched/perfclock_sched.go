@@ -1,0 +1,20 @@
+// Package fixture proves the //lint:perf-clock marker buys nothing
+// outside pjs/internal/perf: loaded under a pjs/internal/sched path,
+// the marker is rejected as a finding of its own and the wall-clock
+// read it tried to cover still fires — both diagnostics, not either.
+package fixture
+
+import "time"
+
+// Smuggled tries to carry the perf-clock exemption into scheduler code.
+func Smuggled() time.Time {
+	//lint:perf-clock totally legitimate timing, promise // want "only valid inside pjs/internal/perf"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Bare is the unadorned ban: the check keeps firing on scheduler code
+// exactly as before the exemption existed.
+func Bare() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -19,10 +20,27 @@ import (
 // lands in a result. Keeping the allowlist here, as check scope, means
 // cmd/ needs no per-call-site lint:ignore directives and a wall-clock
 // read accidentally introduced under internal/ still fails the build.
+//
+// One scoped exemption exists inside internal/: pjs/internal/perf is
+// the sanctioned performance-clock package, and a banned call there may
+// carry a justified //lint:perf-clock <reason> marker on its own line
+// or the line above. The marker is deliberately narrower than a
+// lint:ignore directive — outside pjs/internal/perf it is itself a
+// finding (and the wall-clock finding it tried to cover still fires),
+// so wall-clock reads cannot leak back into simulator code by
+// cargo-culting the marker. A marker in scope that covers no banned
+// call is stale and reported, staleignore-style.
 type WallclockCheck struct{}
 
 // wallclockScope is the single import-path prefix the rule enforces.
 const wallclockScope = "pjs/internal/"
+
+// perfClockScope is the only package subtree where //lint:perf-clock
+// markers are honoured: the monotonic-clock abstraction itself.
+const perfClockScope = "pjs/internal/perf"
+
+// perfClockMarker is the exemption marker comment prefix.
+const perfClockMarker = "lint:perf-clock"
 
 // wallclockBanned lists the time-package entry points that observe or
 // depend on the wall clock (or the process timer). Pure constructors and
@@ -45,7 +63,7 @@ func (*WallclockCheck) Name() string { return "wallclock" }
 
 // Doc implements Check.
 func (*WallclockCheck) Doc() string {
-	return "no wall-clock reads (time.Now/Since/Sleep/...) inside internal/; use the virtual clock"
+	return "no wall-clock reads (time.Now/Since/Sleep/...) inside internal/; use the virtual clock (//lint:perf-clock exempts internal/perf only)"
 }
 
 // Applies implements Check.
@@ -53,8 +71,57 @@ func (*WallclockCheck) Applies(pkgPath string) bool {
 	return strings.HasPrefix(pkgPath, wallclockScope)
 }
 
+// perfClockScoped reports whether the package may use perf-clock
+// markers: pjs/internal/perf itself or a subpackage of it.
+func perfClockScoped(pkgPath string) bool {
+	return pkgPath == perfClockScope || strings.HasPrefix(pkgPath, perfClockScope+"/")
+}
+
+// perfMarkerKey addresses one marker site by file line.
+type perfMarkerKey struct {
+	file string
+	line int
+}
+
+// perfMarker is one well-formed //lint:perf-clock marker and whether it
+// exempted a banned call this run.
+type perfMarker struct {
+	pos  token.Pos
+	used bool
+}
+
+// collectPerfClockMarkers scans the package comments for perf-clock
+// markers, keyed by (file, line). Markers without a reason are reported
+// immediately: an unjustified exemption is no exemption.
+func collectPerfClockMarkers(p *Package, rep *Reporter) map[perfMarkerKey]*perfMarker {
+	markers := map[perfMarkerKey]*perfMarker{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, perfClockMarker) {
+					continue
+				}
+				fields := strings.Fields(text)
+				if fields[0] != perfClockMarker {
+					continue // prose mentioning the marker
+				}
+				if len(fields) < 2 {
+					rep.Reportf(c.Pos(), "//lint:perf-clock needs a reason")
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				markers[perfMarkerKey{file: pos.Filename, line: pos.Line}] = &perfMarker{pos: c.Pos()}
+			}
+		}
+	}
+	return markers
+}
+
 // Run implements Check.
-func (*WallclockCheck) Run(p *Package, rep *Reporter) {
+func (c *WallclockCheck) Run(p *Package, rep *Reporter) {
+	markers := collectPerfClockMarkers(p, rep)
+	inPerf := perfClockScoped(p.Path)
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -65,9 +132,29 @@ func (*WallclockCheck) Run(p *Package, rep *Reporter) {
 			if !ok || path != "time" || !wallclockBanned[name] {
 				return true
 			}
+			if inPerf {
+				pos := p.Fset.Position(call.Pos())
+				for _, line := range []int{pos.Line, pos.Line - 1} {
+					if m, found := markers[perfMarkerKey{file: pos.Filename, line: line}]; found {
+						m.used = true
+						return true
+					}
+				}
+			}
 			rep.Reportf(call.Pos(),
 				"time.%s reads the wall clock; simulator code must use the virtual clock (Env.Now)", name)
 			return true
 		})
+	}
+	// Marker hygiene. Emission order over the map is arbitrary; the
+	// driver sorts all diagnostics by position before rendering.
+	for _, m := range markers {
+		if !inPerf {
+			rep.Reportf(m.pos,
+				"//lint:perf-clock is only valid inside %s; this package must use the virtual clock", perfClockScope)
+		} else if !m.used {
+			rep.Reportf(m.pos,
+				"//lint:perf-clock exempts nothing; delete the stale marker")
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"pjs/internal/job"
+	"pjs/internal/perf"
 	"pjs/internal/sched"
 )
 
@@ -53,6 +54,7 @@ func (s *Sched) OnArrival(j *job.Job) {
 		s.insertResv(reservation{j: j, start: farFuture})
 		return
 	}
+	span := s.env.Probe().Begin()
 	p := s.profile(now)
 	for _, r := range s.resvs {
 		if r.start >= farFuture {
@@ -61,6 +63,7 @@ func (s *Sched) OnArrival(j *job.Job) {
 		p.Sub(r.start, r.start+r.j.Estimate, r.j.Procs)
 	}
 	anchor := p.FindStart(now, j.Procs, j.Estimate)
+	s.env.Probe().End(perf.PhaseBackfillWindow, span)
 	if anchor == now {
 		s.mustStart(j)
 		return
@@ -74,6 +77,8 @@ func (s *Sched) OnArrival(j *job.Job) {
 // is reinserted where it was.
 func (s *Sched) OnCompletion(j *job.Job) {
 	s.running = sched.Remove(s.running, j)
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseQueueScan, span)
 	now := s.env.Now()
 	old := s.resvs
 	s.resvs = nil
@@ -120,6 +125,8 @@ func (s *Sched) OnRepair(int) { s.rebuild(nil) }
 // newly displaced jobs — in (submit, id) order against the surviving
 // machine, starting those whose anchor is now.
 func (s *Sched) rebuild(extra []*job.Job) {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseQueueScan, span)
 	now := s.env.Now()
 	jobs := make([]*job.Job, 0, len(s.resvs)+len(extra))
 	for _, r := range s.resvs {

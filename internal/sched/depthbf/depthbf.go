@@ -14,6 +14,7 @@ package depthbf
 
 import (
 	"pjs/internal/job"
+	"pjs/internal/perf"
 	"pjs/internal/sched"
 )
 
@@ -140,6 +141,8 @@ func (s *Sched) profile(now int64) *sched.Profile {
 // anchors computes the reservation start times of the first depth queued
 // jobs against a copy of the given profile (which is consumed).
 func (s *Sched) anchors(p *sched.Profile, now int64) []int64 {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseBackfillWindow, span)
 	n := s.depth
 	if n > len(s.queue) {
 		n = len(s.queue)
@@ -161,6 +164,8 @@ func (s *Sched) anchors(p *sched.Profile, now int64) []int64 {
 
 // schedule starts every job the reservation discipline allows.
 func (s *Sched) schedule() {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseQueueScan, span)
 	for {
 		now := s.env.Now()
 		// Reserved jobs whose anchor is now start directly (in queue
@@ -211,6 +216,8 @@ func (s *Sched) depthOrLen() int {
 // backfillLegal reports whether starting candidate c now leaves every
 // reserved job's anchor at or before its current value.
 func (s *Sched) backfillLegal(c *job.Job, now int64, base []int64) bool {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseBackfillWindow, span)
 	p := s.profile(now)
 	p.Sub(now, now+c.Estimate, c.Procs)
 	capacity := s.env.Cluster.UpCount()

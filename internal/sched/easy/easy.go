@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"pjs/internal/job"
+	"pjs/internal/perf"
 	"pjs/internal/sched"
 )
 
@@ -94,6 +95,8 @@ func (s *Sched) start(j *job.Job) bool {
 
 // schedule starts queue heads while they fit, then backfills.
 func (s *Sched) schedule() {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseQueueScan, span)
 	for {
 		// Start from the head while possible.
 		for len(s.queue) > 0 && s.start(s.queue[0]) {
@@ -133,6 +136,8 @@ func (s *Sched) schedule() {
 // processors are projected free (based on estimates), and the number of
 // processors that will remain free beyond the head's need at that time.
 func (s *Sched) shadow(head *job.Job) (shadowTime int64, extraNodes int) {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseBackfillWindow, span)
 	type rel struct {
 		end   int64
 		procs int

@@ -288,6 +288,7 @@ func RunContext(ctx context.Context, t *workload.Trace, s Scheduler, opt Options
 		sched:    s,
 		byID:     make(map[int]*job.Job),
 		obs:      opt.Observer,
+		probe:    opt.Probe,
 	}
 	if opt.ContiguousAlloc {
 		env.Cluster.SetAllocPolicy(cluster.BestFitContiguous)
@@ -313,6 +314,7 @@ func RunContext(ctx context.Context, t *workload.Trace, s Scheduler, opt Options
 	}
 	env.engine = sim.New(env, s.TickInterval())
 	env.engine.SetContext(ctx)
+	env.engine.SetProbe(opt.Probe)
 	if opt.MaxSteps > 0 {
 		env.engine.SetMaxSteps(opt.MaxSteps)
 	}
@@ -362,6 +364,7 @@ func RunContext(ctx context.Context, t *workload.Trace, s Scheduler, opt Options
 		FailKills:       env.failKills,
 		ImagesLost:      env.imagesLost,
 		LostWorkSeconds: env.lostWork,
+		Events:          env.engine.Steps(),
 		Audit:           env.Audit,
 	}
 	for _, j := range jobs {

@@ -6,6 +6,7 @@ import (
 
 	"pjs/internal/obs"
 	"pjs/internal/overhead"
+	"pjs/internal/perf"
 	"pjs/internal/sched"
 	"pjs/internal/sched/ss"
 	"pjs/internal/workload"
@@ -28,9 +29,20 @@ func BenchmarkRunObserverNil(b *testing.B) {
 	trace := benchTrace()
 	b.ReportAllocs()
 	b.ResetTimer()
+	var events int64
 	for i := 0; i < b.N; i++ {
-		sched.Run(trace, ss.New(ss.Config{SF: 2}),
+		res := sched.Run(trace, ss.New(ss.Config{SF: 2}),
 			sched.Options{Overhead: overhead.Disk{}})
+		events += res.Events
+	}
+	reportEventsPerSec(b, events)
+}
+
+// reportEventsPerSec attaches engine-event throughput as a custom
+// metric — the unit pjsbench and the facade benchmarks also report.
+func reportEventsPerSec(b *testing.B, events int64) {
+	if s := b.Elapsed().Seconds(); s > 0 && events > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
 	}
 }
 
@@ -41,6 +53,7 @@ func BenchmarkRunObserverFanout(b *testing.B) {
 	trace := benchTrace()
 	b.ReportAllocs()
 	b.ResetTimer()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		opt := sched.Options{Overhead: overhead.Disk{}}
 		opt.Observer = obs.NewFanOut(
@@ -48,8 +61,26 @@ func BenchmarkRunObserverFanout(b *testing.B) {
 			obs.NewSampler(trace.Procs),
 			obs.NewCounters("bench", trace.Procs),
 		)
-		sched.Run(trace, ss.New(ss.Config{SF: 2}), opt)
+		res := sched.Run(trace, ss.New(ss.Config{SF: 2}), opt)
+		events += res.Events
 	}
+	reportEventsPerSec(b, events)
+}
+
+// BenchmarkRunProbed is the self-profiling analogue of the fan-out
+// benchmark: same simulation with a perf probe attached. Compare with
+// BenchmarkRunObserverNil to read off the probe's own overhead.
+func BenchmarkRunProbed(b *testing.B) {
+	trace := benchTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		opt := sched.Options{Overhead: overhead.Disk{}, Probe: perf.NewProbe(nil)}
+		res := sched.Run(trace, ss.New(ss.Config{SF: 2}), opt)
+		events += res.Events
+	}
+	reportEventsPerSec(b, events)
 }
 
 // TestUtilizationIntegralMatchesClusterIntegral pins the audit-log

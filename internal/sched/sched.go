@@ -17,6 +17,7 @@ import (
 	"pjs/internal/fault"
 	"pjs/internal/job"
 	"pjs/internal/overhead"
+	"pjs/internal/perf"
 	"pjs/internal/sim"
 	"pjs/internal/workload"
 )
@@ -91,6 +92,13 @@ type Options struct {
 	// observation at zero cost: every emission site is nil-guarded and
 	// allocates nothing.
 	Observer Observer
+	// Probe accumulates per-phase wall-clock timing of the scheduler hot
+	// path (event dispatch, queue scans, backfill windows, victim
+	// selection). nil — the default — disables profiling at zero cost:
+	// span calls on a nil probe are allocation-free no-ops. Timing never
+	// enters the audit log, the watermark hash or the observer stream,
+	// so an attached probe cannot perturb a run's deterministic outputs.
+	Probe *perf.Probe
 	// Faults configures deterministic processor fault injection. The
 	// zero value (the default) injects nothing and leaves the run
 	// byte-identical to a build without the fault subsystem.
@@ -137,6 +145,9 @@ type Result struct {
 	// LostWorkSeconds totals the compute seconds discarded by failure
 	// kills and stranded images.
 	LostWorkSeconds int64
+	// Events is the number of engine events the run processed — the
+	// denominator for throughput metrics (events/sec, ns/event).
+	Events int64
 	// Audit is the action log if Options.Audit was set.
 	Audit *AuditLog
 }
@@ -189,6 +200,7 @@ type Env struct {
 	jobs    []*job.Job // all jobs of the run, submission order
 	pending []*pendingStart
 	obs     Observer
+	probe   *perf.Probe     // nil without profiling
 	faults  *fault.Injector // nil without fault injection
 
 	// Failure tallies for the Result.
@@ -227,6 +239,12 @@ type pendingStart struct {
 
 // Now returns the current virtual time.
 func (e *Env) Now() int64 { return e.engine.Now() }
+
+// Probe returns the run's performance probe, nil when profiling is
+// disabled. Policies bracket their expensive phases with
+// Probe().Begin()/End(...) — both are nil-safe no-ops, so call sites
+// need no guards.
+func (e *Env) Probe() *perf.Probe { return e.probe }
 
 // JobByID returns the job with the given ID, or nil.
 func (e *Env) JobByID(id int) *job.Job { return e.byID[id] }

@@ -20,6 +20,7 @@ import (
 
 	"pjs/internal/core"
 	"pjs/internal/job"
+	"pjs/internal/perf"
 	"pjs/internal/sched"
 )
 
@@ -156,6 +157,8 @@ func (s *Sched) OnRepair(int) { s.schedulePass() }
 // preemption — fresh jobs on any free processors, suspended jobs on
 // their remembered set.
 func (s *Sched) schedulePass() {
+	span := s.env.Probe().Begin()
+	defer s.env.Probe().End(perf.PhaseQueueScan, span)
 	now := s.env.Now()
 	idle := append([]*job.Job(nil), s.queue...)
 	sched.SortByXFactor(idle, now)
@@ -203,7 +206,9 @@ func (s *Sched) tryPreempt(j *job.Job, now int64) {
 	if free >= j.Procs {
 		return // schedulePass will start it without suspending anyone
 	}
+	span := s.env.Probe().Begin()
 	victims, ok := s.pol.SelectVictims(now, j, s.running, free)
+	s.env.Probe().End(perf.PhaseVictimSelect, span)
 	if !ok || len(victims) == 0 {
 		return
 	}
@@ -237,7 +242,9 @@ func (s *Sched) tryReentry(j *job.Job, now int64) {
 		}
 		return core.ReentryPreemptible, holder
 	}
+	span := s.env.Probe().Begin()
 	victims, ok := s.pol.SelectReentryVictims(now, j, classify)
+	s.env.Probe().End(perf.PhaseVictimSelect, span)
 	if !ok || len(victims) == 0 {
 		return // fully free sets are handled by schedulePass
 	}

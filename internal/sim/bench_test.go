@@ -30,6 +30,7 @@ func BenchmarkHeapPushPop(b *testing.B) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	// Serial single-processor engine drive: measures raw event cost.
 	b.ReportAllocs()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		h := &recordingHandler{}
 		e := New(h, 0)
@@ -40,5 +41,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if _, err := e.Run(); err != nil {
 			b.Fatalf("Run: %v", err)
 		}
+		events += e.Steps()
+	}
+	if s := b.Elapsed().Seconds(); s > 0 && events > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pjs/internal/job"
+	"pjs/internal/perf"
 )
 
 // Kind discriminates event types. The numeric order doubles as the
@@ -115,6 +116,7 @@ type Engine struct {
 	abortErr     error
 	ctx          context.Context
 	stepHook     func(steps int64) error
+	probe        *perf.Probe
 }
 
 // New returns an engine delivering events to h. tickInterval of 0
@@ -148,6 +150,14 @@ const ctxCheckMask = 255
 // what it computes: every event processed before the stop is identical
 // to the uninterrupted run's.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetProbe attaches a performance probe timing each event dispatch
+// (the handler invocation envelope). A nil probe — the default — keeps
+// the loop on the zero-cost path: Begin/End on a nil *perf.Probe are
+// allocation-free no-ops. The probe observes wall time only; it never
+// reads or influences simulation state, so enabling it cannot change a
+// run's outcome.
+func (e *Engine) SetProbe(p *perf.Probe) { e.probe = p }
 
 // SetStepHook installs fn, invoked after every processed event with
 // the cumulative event count; a non-nil return stops Run with that
@@ -264,6 +274,7 @@ func (e *Engine) Run() (int64, error) {
 			return e.now, fmt.Errorf("%w: %d steps at t=%d (livelock?)",
 				ErrMaxSteps, e.maxSteps, e.now)
 		}
+		span := e.probe.Begin()
 		switch ev.Kind {
 		case Arrival:
 			e.handler.HandleArrival(ev.Job)
@@ -286,6 +297,7 @@ func (e *Engine) Run() (int64, error) {
 				e.push(&Event{Time: e.nextTick, Kind: Tick})
 			}
 		}
+		e.probe.End(perf.PhaseEventDispatch, span)
 		if e.abortErr != nil {
 			return e.now, e.abortErr
 		}
