@@ -16,12 +16,22 @@ import (
 // first, two interior, and the last — through a fresh scheduler.
 func TestCrashEquivalenceMatrix(t *testing.T) {
 	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 160, Seed: 9})
+	// The transient cells reuse the monotone-degradation configuration of
+	// TestTransientFaultDoubleRunDeterminism (see there for why), plus the
+	// disk overhead model so the injected I/O has nonzero duration.
+	trans := pjs.TransientFaultConfig{
+		WriteFailProb: 0.2, ReadFailProb: 0.2, Seed: 9,
+		HealthThreshold: 1, HealthWindow: 1 << 40,
+	}
 	faultModes := []struct {
-		name   string
-		faults pjs.FaultConfig
+		name      string
+		faults    pjs.FaultConfig
+		transient pjs.TransientFaultConfig
 	}{
-		{"nofault", pjs.FaultConfig{}},
-		{"faults", pjs.FaultConfig{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 5}},
+		{"nofault", pjs.FaultConfig{}, pjs.TransientFaultConfig{}},
+		{"faults", pjs.FaultConfig{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 5}, pjs.TransientFaultConfig{}},
+		{"transient", pjs.FaultConfig{}, trans},
+		{"faults+transient", pjs.FaultConfig{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 5}, trans},
 	}
 	for _, fm := range faultModes {
 		for _, spec := range pjs.SchedulerSpecs() {
@@ -33,16 +43,21 @@ func TestCrashEquivalenceMatrix(t *testing.T) {
 					}
 					return s
 				}
+				baseOpt := pjs.Options{}
+				if fm.transient.Enabled() {
+					baseOpt = pjs.DiskOverhead()
+				}
 				var snaps []sched.Snapshot
-				ref, err := pjs.SimulateChecked(trace, newSched(), pjs.Options{
-					Audit:    true,
-					MaxSteps: 50_000_000,
-					Faults:   fm.faults,
-					Checkpoint: &sched.CheckpointConfig{
-						Every: 100,
-						Save:  func(s sched.Snapshot) error { snaps = append(snaps, s); return nil },
-					},
-				})
+				refOpt := baseOpt
+				refOpt.Audit = true
+				refOpt.MaxSteps = 50_000_000
+				refOpt.Faults = fm.faults
+				refOpt.Transient = fm.transient
+				refOpt.Checkpoint = &sched.CheckpointConfig{
+					Every: 100,
+					Save:  func(s sched.Snapshot) error { snaps = append(snaps, s); return nil },
+				}
+				ref, err := pjs.SimulateChecked(trace, newSched(), refOpt)
 				if err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
@@ -52,16 +67,17 @@ func TestCrashEquivalenceMatrix(t *testing.T) {
 				want := ref.Audit.String()
 				for _, i := range watermarkSample(len(snaps)) {
 					snap := snaps[i]
-					res, err := pjs.SimulateChecked(trace, newSched(), pjs.Options{
-						Audit:    true,
-						MaxSteps: 50_000_000,
-						Faults:   fm.faults,
-						Resume: &sched.ResumeSpec{
-							Events:       snap.Events,
-							AuditHash:    snap.AuditHash,
-							AuditEntries: snap.AuditEntries,
-						},
-					})
+					resOpt := baseOpt
+					resOpt.Audit = true
+					resOpt.MaxSteps = 50_000_000
+					resOpt.Faults = fm.faults
+					resOpt.Transient = fm.transient
+					resOpt.Resume = &sched.ResumeSpec{
+						Events:       snap.Events,
+						AuditHash:    snap.AuditHash,
+						AuditEntries: snap.AuditEntries,
+					}
+					res, err := pjs.SimulateChecked(trace, newSched(), resOpt)
 					if err != nil {
 						t.Fatalf("resume from event %d: %v", snap.Events, err)
 					}

@@ -2,7 +2,8 @@
 // scenario matrix and gates regressions between two measurement files.
 //
 // Measure mode runs every combination of scheduling policy × workload
-// model × offered-load level × {no-fault, fault-injected}, repeating
+// model × offered-load level × {no-fault, fault-injected,
+// transient-I/O}, repeating
 // each scenario -samples times, and writes a schema-versioned BENCH.json
 // (atomically) with throughput, allocation and per-phase hot-path
 // timings plus an environment fingerprint:
@@ -41,6 +42,7 @@ import (
 	"pjs/internal/ckpt"
 	"pjs/internal/cli"
 	"pjs/internal/fault"
+	"pjs/internal/overhead"
 	"pjs/internal/perf"
 	"pjs/internal/sched"
 	"pjs/internal/workload"
@@ -90,7 +92,12 @@ type Scenario struct {
 	Model  string  `json:"model"`
 	Load   float64 `json:"load"`
 	Fault  bool    `json:"fault"`
-	Events int64   `json:"events"`
+	// Transient marks the transient-I/O cell (suspend/restart faults
+	// with retry/backoff, under the disk overhead model). Omitempty
+	// keeps older BENCH.json files schema-compatible: absent means
+	// false, and compare treats the new cells as scenario churn.
+	Transient bool  `json:"transient,omitempty"`
+	Events    int64 `json:"events"`
 
 	ElapsedNs      []int64   `json:"elapsed_ns"`
 	NsPerEvent     []float64 `json:"ns_per_event"`
@@ -110,9 +117,22 @@ type PhaseBreakdown struct {
 }
 
 // benchFaults is the fault configuration of the matrix's fault-injected
-// half: failures rare enough that every policy still finishes, frequent
+// cells: failures rare enough that every policy still finishes, frequent
 // enough to exercise the failure paths (MTBF 200 h, MTTR 2 h).
 var benchFaults = fault.Config{MTBF: 200 * 3600, MTTR: 2 * 3600, Seed: 1}
+
+// benchTransient is the transient-I/O configuration of the matrix's
+// transient cells: aggressive enough (30% per operation) to exercise the
+// retry/backoff, exhaustion and health-degradation paths on every
+// policy that suspends.
+var benchTransient = fault.TransientConfig{WriteFailProb: 0.3, ReadFailProb: 0.3, Seed: 1}
+
+// Fault-axis modes, in matrix order.
+const (
+	faultNone      = "nofault"
+	faultProc      = "fault"
+	faultTransient = "transient"
+)
 
 func pjsbench(args []string, stdout, stderr *cli.W) int {
 	fs := flag.NewFlagSet("pjsbench", flag.ContinueOnError)
@@ -124,7 +144,7 @@ func pjsbench(args []string, stdout, stderr *cli.W) int {
 		jobs      = fs.Int("jobs", 1500, "jobs per generated trace")
 		samples   = fs.Int("samples", 3, "timed repetitions per scenario")
 		seed      = fs.Int64("seed", 1, "workload generator seed")
-		faultMode = fs.String("fault", "both", "fault-injection axis: off, on or both")
+		faultMode = fs.String("fault", "all", "fault-injection axis: off, on, transient, both (off+on) or all")
 		out       = fs.String("out", "BENCH.json", "output file (measure mode)")
 		compare   = fs.Bool("compare", false, "compare two BENCH.json files: pjsbench -compare old.json new.json")
 		threshold = fs.Float64("threshold", 0.25, "relative ns/event slowdown treated as a regression (compare mode)")
@@ -152,16 +172,20 @@ func pjsbench(args []string, stdout, stderr *cli.W) int {
 		return fail(fmt.Errorf("-samples and -jobs must be ≥ 1, got %d/%d", *samples, *jobs))
 	}
 
-	var faultAxis []bool
+	var faultAxis []string
 	switch *faultMode {
 	case "off":
-		faultAxis = []bool{false}
+		faultAxis = []string{faultNone}
 	case "on":
-		faultAxis = []bool{true}
+		faultAxis = []string{faultProc}
+	case "transient":
+		faultAxis = []string{faultTransient}
 	case "both":
-		faultAxis = []bool{false, true}
+		faultAxis = []string{faultNone, faultProc}
+	case "all":
+		faultAxis = []string{faultNone, faultProc, faultTransient}
 	default:
-		return fail(fmt.Errorf("unknown -fault %q (want off, on or both)", *faultMode))
+		return fail(fmt.Errorf("unknown -fault %q (want off, on, transient, both or all)", *faultMode))
 	}
 	loadVals, err := parseLoads(*loads)
 	if err != nil {
@@ -194,10 +218,10 @@ func pjsbench(args []string, stdout, stderr *cli.W) int {
 				return fail(fmt.Errorf("unknown model %q", modelName))
 			}
 			for _, load := range loadVals {
-				for _, withFaults := range faultAxis {
+				for _, mode := range faultAxis {
 					mm := m
 					mm.OfferedLoad *= load
-					sc, err := measure(spec, modelName, mm, load, withFaults, *jobs, *samples, *seed)
+					sc, err := measure(spec, modelName, mm, load, mode, *jobs, *samples, *seed)
 					if err != nil {
 						return fail(err)
 					}
@@ -235,26 +259,24 @@ func parseLoads(s string) ([]float64, error) {
 	return out, nil
 }
 
-// scenarioID names one matrix cell, stable across runs and flags.
-func scenarioID(policy, model string, load float64, withFaults bool) string {
-	f := "nofault"
-	if withFaults {
-		f = "fault"
-	}
-	return fmt.Sprintf("%s/%s/load%.2g/%s", policy, model, load, f)
+// scenarioID names one matrix cell, stable across runs and flags. The
+// mode string is the ID suffix, so pre-transient IDs are unchanged.
+func scenarioID(policy, model string, load float64, mode string) string {
+	return fmt.Sprintf("%s/%s/load%.2g/%s", policy, model, load, mode)
 }
 
 // measure times one scenario: the trace is generated once (identical
 // for every sample), then the simulation runs samples times with a
 // fresh scheduler, probe and memory-stats window each.
-func measure(spec, modelName string, m workload.Model, load float64, withFaults bool, jobs, samples int, seed int64) (*Scenario, error) {
+func measure(spec, modelName string, m workload.Model, load float64, mode string, jobs, samples int, seed int64) (*Scenario, error) {
 	trace := workload.Generate(m, workload.GenOptions{Jobs: jobs, Seed: seed})
 	sc := &Scenario{
-		ID:     scenarioID(spec, modelName, load, withFaults),
-		Policy: spec,
-		Model:  modelName,
-		Load:   load,
-		Fault:  withFaults,
+		ID:        scenarioID(spec, modelName, load, mode),
+		Policy:    spec,
+		Model:     modelName,
+		Load:      load,
+		Fault:     mode == faultProc,
+		Transient: mode == faultTransient,
 	}
 	clock := perf.Monotonic()
 	for i := 0; i < samples; i++ {
@@ -263,8 +285,15 @@ func measure(spec, modelName string, m workload.Model, load float64, withFaults 
 			return nil, err
 		}
 		opt := sched.Options{Probe: perf.NewProbe(nil)}
-		if withFaults {
+		switch mode {
+		case faultProc:
 			opt.Faults = benchFaults
+		case faultTransient:
+			// Transient cells run under the disk overhead model so the
+			// injected I/O has nonzero duration — the retry/backoff and
+			// health machinery is on the timed path.
+			opt.Transient = benchTransient
+			opt.Overhead = overhead.Disk{}
 		}
 		var before, after runtime.MemStats
 		runtime.GC()

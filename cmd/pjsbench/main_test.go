@@ -35,8 +35,20 @@ func TestMeasureWritesValidBench(t *testing.T) {
 	if b.Schema != Schema {
 		t.Fatalf("schema = %q, want %q", b.Schema, Schema)
 	}
-	if len(b.Scenarios) != 2 { // fault off + on
-		t.Fatalf("got %d scenarios, want 2", len(b.Scenarios))
+	if len(b.Scenarios) != 3 { // fault off + on + transient
+		t.Fatalf("got %d scenarios, want 3", len(b.Scenarios))
+	}
+	var sawTransient bool
+	for _, sc := range b.Scenarios {
+		if sc.Transient {
+			sawTransient = true
+			if !strings.HasSuffix(sc.ID, "/transient") {
+				t.Errorf("transient scenario id = %q, want /transient suffix", sc.ID)
+			}
+		}
+	}
+	if !sawTransient {
+		t.Error("default fault axis produced no transient scenario")
 	}
 	for _, sc := range b.Scenarios {
 		if sc.Events <= 0 {

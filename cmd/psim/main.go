@@ -7,6 +7,7 @@
 //	psim -trace log.swf -sched ns -filter well
 //	psim -model CTC -sched ss:1.5 -estimates inaccurate -load 1.3 -overhead -verify
 //	psim -sched ns -mtbf 500 -mttr 2 -fault-seed 7   # processor fault injection
+//	psim -sched ss:2 -overhead -io-write-fail 0.2 -io-read-fail 0.2  # transient I/O faults
 //	psim -sched ss:2 -perf                           # hot-path profile on stderr
 //	psim -model SDSC -jobs 50000 -ckpt-every 100000  # crash-safe checkpointing
 //	psim -resume psim.ckpt                           # continue an interrupted run
@@ -87,6 +88,14 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		mtbf      = fs.Float64("mtbf", 0, "per-processor mean time between failures in hours (0 disables fault injection)")
 		mttr      = fs.Float64("mttr", 0, "mean time to repair in hours (with -mtbf; 0 means failures are permanent)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed (with -mtbf)")
+		ioWrite   = fs.Float64("io-write-fail", 0, "probability a suspend-image write fails transiently (0 disables)")
+		ioRead    = fs.Float64("io-read-fail", 0, "probability a restart-image read fails transiently (0 disables)")
+		ioSeed    = fs.Int64("io-seed", 1, "transient I/O fault stream seed")
+		ioMaxAtt  = fs.Int("io-max-attempts", 0, "I/O attempts per operation before kill-and-requeue (0 = default 4)")
+		ioBase    = fs.Int64("io-backoff-base", 0, "first I/O retry backoff in seconds of virtual time (0 = default 30)")
+		ioCap     = fs.Int64("io-backoff-cap", 0, "I/O retry backoff ceiling in seconds (0 = default 480)")
+		ioWindow  = fs.Int64("io-health-window", 0, "I/O health window in seconds (0 = default 3600)")
+		ioThresh  = fs.Int("io-health-thresh", 0, "I/O failures within the window that degrade a processor (0 = default 3)")
 		ckptEvery = fs.Int64("ckpt-every", 0, "write a resumable checkpoint every N engine events (0 disables)")
 		ckptDir   = fs.String("ckpt-dir", ".", "directory for the checkpoint file (with -ckpt-every)")
 		resume    = fs.String("resume", "", "resume from this checkpoint file (workload/scheduler/options come from it)")
@@ -127,6 +136,12 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		if *mtbf < 0 || *mttr < 0 {
 			return fail(fmt.Errorf("-mtbf and -mttr must be ≥ 0 hours, got %g/%g", *mtbf, *mttr))
 		}
+		if *ioWrite < 0 || *ioWrite > 1 || *ioRead < 0 || *ioRead > 1 {
+			return fail(fmt.Errorf("-io-write-fail and -io-read-fail must be in [0,1], got %g/%g", *ioWrite, *ioRead))
+		}
+		if *ioMaxAtt < 0 || *ioBase < 0 || *ioCap < 0 || *ioWindow < 0 || *ioThresh < 0 {
+			return fail(fmt.Errorf("transient I/O flags must be ≥ 0"))
+		}
 		spec = &ckpt.WorkloadSpec{Kind: ckpt.KindSynthetic, Model: *model, Jobs: *jobs,
 			Seed: *seed, Estimates: *estimates, Load: *loadF}
 		if *traceFile != "" {
@@ -135,11 +150,21 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		}
 		schedName = *schedSpec
 		optSpec = ckpt.OptSpec{
-			Overhead:   *oh,
-			Contiguous: *contig,
-			MTBF:       int64(*mtbf * 3600),
-			MTTR:       int64(*mttr * 3600),
-			FaultSeed:  *faultSeed,
+			Overhead:       *oh,
+			Contiguous:     *contig,
+			MTBF:           int64(*mtbf * 3600),
+			MTTR:           int64(*mttr * 3600),
+			FaultSeed:      *faultSeed,
+			IOWriteFail:    *ioWrite,
+			IOReadFail:     *ioRead,
+			IOMaxAttempts:  *ioMaxAtt,
+			IOBackoffBase:  *ioBase,
+			IOBackoffCap:   *ioCap,
+			IOHealthWindow: *ioWindow,
+			IOHealthThresh: *ioThresh,
+		}
+		if *ioWrite > 0 || *ioRead > 0 {
+			optSpec.IOSeed = *ioSeed
 		}
 		if *ckptEvery > 0 {
 			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -174,15 +199,26 @@ func psim(args []string, stdout, stderr *cli.W) int {
 	opt := optSpec.Options()
 	opt.Audit = *verify || *ganttW > 0
 	opt.Resume = resumeSpec
+	var lastSaveErr error
 	if ckptPath != "" {
 		path := ckptPath
+		saveWarned := false
 		opt.Checkpoint = &sched.CheckpointConfig{
 			Every: *ckptEvery,
 			Save: func(snap sched.Snapshot) error {
 				c := &ckpt.Checkpoint{Workload: *spec, Sched: schedName, Opt: optSpec,
 					Events: snap.Events, Now: snap.Now,
 					AuditHash: snap.AuditHash, AuditEntries: snap.AuditEntries}
-				return c.Save(path)
+				// A failed save must not abort an otherwise healthy run:
+				// warn once, remember the error and keep simulating. Only
+				// the interrupt path, which depends on the checkpoint being
+				// on disk, turns a persistent failure into a hard error.
+				lastSaveErr = c.Save(path)
+				if lastSaveErr != nil && !saveWarned {
+					saveWarned = true
+					stderr.Printf("psim: warning: checkpoint save failed, continuing without: %v\n", lastSaveErr)
+				}
+				return nil
 			},
 		}
 	}
@@ -242,6 +278,10 @@ func psim(args []string, stdout, stderr *cli.W) int {
 	if err != nil {
 		var ie *sched.InterruptedError
 		if errors.As(err, &ie) {
+			if lastSaveErr != nil {
+				return fail(fmt.Errorf("interrupted after %d events but the final checkpoint save failed: %v",
+					ie.Snapshot.Events, lastSaveErr))
+			}
 			stderr.Printf("psim: interrupted after %d events at t=%d; checkpoint saved\n",
 				ie.Snapshot.Events, ie.Snapshot.Now)
 			stderr.Printf("psim: resume with: psim -resume %s\n", ckptPath)
@@ -257,7 +297,10 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		}
 	}
 	if *verify {
-		if err := check.Check(res.Audit, check.Options{ZeroOverhead: !optSpec.Overhead}); err != nil {
+		// Transient read retries pad run segments with backoff time, so
+		// exact work conservation only holds without them.
+		zeroOH := !optSpec.Overhead && optSpec.IOWriteFail == 0 && optSpec.IOReadFail == 0
+		if err := check.Check(res.Audit, check.Options{ZeroOverhead: zeroOH}); err != nil {
 			return fail(fmt.Errorf("invariant check failed: %v", err))
 		}
 		occ, _ := res.UtilizationIntegral()
@@ -284,6 +327,14 @@ func psim(args []string, stdout, stderr *cli.W) int {
 		}
 		stdout.Printf("faults: failures=%d repairs=%d fail-kills=%d images-lost=%d resubmissions=%d lost-work=%ds\n",
 			res.Failures, res.Repairs, res.FailKills, res.ImagesLost, resubmits, res.LostWorkSeconds)
+	}
+	if optSpec.IOWriteFail > 0 || optSpec.IOReadFail > 0 {
+		resubmits := 0
+		for _, j := range res.Jobs {
+			resubmits += j.Resubmits
+		}
+		stdout.Printf("transient-io: retries=%d exhausted=%d degradations=%d restores=%d resubmissions=%d lost-work=%ds\n",
+			res.IORetries, res.IOExhaustions, res.IODegradations, res.IORestores, resubmits, res.LostWorkSeconds)
 	}
 	stdout.Printf("overall: mean slowdown=%.2f worst slowdown=%.1f mean turnaround=%.0fs (filter=%s, %d jobs)\n\n",
 		sum.Overall.MeanSlowdown, sum.Overall.WorstSlowdown, sum.Overall.MeanTurnaround,

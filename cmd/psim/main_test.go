@@ -131,6 +131,84 @@ func TestInterruptCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestCheckpointSaveFailureWarnsAndContinues: a run whose periodic
+// checkpoint cannot be written (here the target path is blocked by a
+// directory, which defeats the atomic rename even for root) must warn
+// once on stderr and finish normally with exit 0 — a broken disk costs
+// resumability, never the run.
+func TestCheckpointSaveFailureWarnsAndContinues(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "psim.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-jobs", "80", "-sched", "ss:2", "-overhead",
+		"-ckpt-every", "100", "-ckpt-dir", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scheduler=SS(SF=2)") {
+		t.Errorf("normal report missing from stdout:\n%s", stdout.String())
+	}
+	warns := strings.Count(stderr.String(), "checkpoint save failed")
+	if warns != 1 {
+		t.Errorf("want exactly one save-failure warning, got %d:\n%s", warns, stderr.String())
+	}
+}
+
+// TestInterruptWithFailedSaveFailsHard: the interrupt path depends on
+// the checkpoint being on disk, so an interrupted run whose final save
+// failed must exit 1 with a clear message instead of falsely claiming
+// exit 3 with a saved checkpoint.
+func TestInterruptWithFailedSaveFailsHard(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "psim.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-jobs", "150", "-sched", "ss:2", "-overhead",
+		"-ckpt-every", "500", "-ckpt-dir", dir, "-max-wall", "1ns"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "final checkpoint save failed") {
+		t.Errorf("no hard failure message for the lost final checkpoint:\n%s", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "checkpoint saved") {
+		t.Errorf("stderr falsely claims a saved checkpoint:\n%s", stderr.String())
+	}
+}
+
+// TestTransientFlagsSummaryLine: the transient-io stats line is gated
+// on the transient flags exactly as the faults line is gated on -mtbf.
+func TestTransientFlagsSummaryLine(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-jobs", "120", "-sched", "ss:2", "-overhead", "-verify",
+		"-io-write-fail", "0.3", "-io-read-fail", "0.3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "transient-io: retries=") {
+		t.Errorf("no transient-io summary line with the flags set:\n%s", out)
+	}
+	if !strings.Contains(out, "invariants: ok") {
+		t.Errorf("-verify failed under transient faults:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-jobs", "50", "-sched", "ns"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("plain run exit code = %d", code)
+	}
+	if strings.Contains(stdout.String(), "transient-io:") {
+		t.Errorf("transient-io line printed without the flags:\n%s", stdout.String())
+	}
+	if code := run([]string{"-jobs", "50", "-sched", "ns", "-io-write-fail", "1.5"}, &stdout, &stderr); code != 1 {
+		t.Errorf("out-of-range -io-write-fail accepted (exit %d)", code)
+	}
+}
+
 // TestResumeRejectsBadCheckpoints: corruption, version skew and a
 // mismatched watermark must each fail loudly, never silently resume.
 func TestResumeRejectsBadCheckpoints(t *testing.T) {

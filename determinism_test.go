@@ -137,6 +137,75 @@ func TestFaultInjectionDoubleRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestTransientFaultDoubleRunDeterminism runs every registered policy
+// twice over the same workload WITH transient suspend/restart I/O fault
+// injection (under the disk overhead model, so the injected I/O has
+// nonzero duration) and asserts byte-identical audit logs, counter
+// reports and Perfetto trace JSON. The transient streams are
+// per-processor counter-seeded, so the failure pattern must not depend
+// on policy behavior or event interleaving; each faulty log must also
+// replay cleanly through the invariant checker.
+func TestTransientFaultDoubleRunDeterminism(t *testing.T) {
+	trace := pjs.Generate(pjs.SDSC(), pjs.GenOptions{Jobs: 200, Seed: 21})
+	// A huge health window with threshold 1 makes degradation permanent
+	// and monotone: every policy provably converges to non-preemptive
+	// behavior on the flaky processors instead of thrashing, so the test
+	// terminates even at a 30% per-processor failure rate. (Recovery via
+	// the default finite window is exercised by the targeted sched
+	// tests and the CI chaos smoke.)
+	trans := pjs.TransientFaultConfig{
+		WriteFailProb: 0.3, ReadFailProb: 0.3, Seed: 9,
+		HealthThreshold: 1, HealthWindow: 1 << 40,
+	}
+	for _, spec := range pjs.SchedulerSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			run := func() (audit, counters, traceJSON string, retries int) {
+				s, err := pjs.NewScheduler(spec)
+				if err != nil {
+					t.Fatalf("NewScheduler(%q): %v", spec, err)
+				}
+				c := obs.NewCounters(s.Name(), trace.Procs)
+				tb := obs.NewTraceBuilder(trace.Procs)
+				opt := pjs.DiskOverhead()
+				opt.Audit = true
+				opt.MaxSteps = 50_000_000
+				opt.Observer = obs.NewFanOut(c, tb)
+				opt.Transient = trans
+				res, err := pjs.SimulateChecked(trace, s, opt)
+				if err != nil {
+					t.Fatalf("%s: %v", spec, err)
+				}
+				if cerr := check.Check(res.Audit, check.Options{
+					AllowMigration: strings.HasPrefix(spec, "ssmig"),
+				}); cerr != nil {
+					t.Fatalf("%s: transient-faulty audit replay: %v", spec, cerr)
+				}
+				var buf strings.Builder
+				if werr := tb.WriteJSON(&buf); werr != nil {
+					t.Fatalf("%s: trace JSON: %v", spec, werr)
+				}
+				return res.Audit.String(), c.String(), buf.String(), res.IORetries
+			}
+			a1, c1, t1, r1 := run()
+			a2, c2, t2, _ := run()
+			if spec == "ss:2" && r1 == 0 {
+				t.Fatalf("%s: transient fault model injected no I/O retries", spec)
+			}
+			if a1 != a2 {
+				t.Errorf("%s: transient audit logs differ (%d vs %d bytes):\n%s",
+					spec, len(a1), len(a2), firstDivergence(a1, a2))
+			}
+			if c1 != c2 {
+				t.Errorf("%s: transient counter reports differ:\nrun1:\n%s\nrun2:\n%s", spec, c1, c2)
+			}
+			if t1 != t2 {
+				t.Errorf("%s: transient trace JSON differs (%d vs %d bytes):\n%s",
+					spec, len(t1), len(t2), firstDivergence(t1, t2))
+			}
+		})
+	}
+}
+
 // firstDivergence renders the first differing line of two audit logs
 // for a readable failure message.
 func firstDivergence(a, b string) string {

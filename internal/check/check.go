@@ -68,6 +68,7 @@ func Check(log *sched.AuditLog, opt Options) error {
 		owner[i] = -1
 	}
 	down := make([]bool, log.Procs)
+	iodegraded := make([]bool, log.Procs)
 	jobs := make(map[int]*jobTrack)
 	get := func(id int) *jobTrack {
 		t, ok := jobs[id]
@@ -89,7 +90,8 @@ func Check(log *sched.AuditLog, opt Options) error {
 		}
 		// Processor-level entries carry no job; handle them before the
 		// job-track lookup so JobID -1 never creates a phantom track.
-		if e.Action == sched.ActProcFail || e.Action == sched.ActProcRepair {
+		if e.Action == sched.ActProcFail || e.Action == sched.ActProcRepair ||
+			e.Action == sched.ActIODegraded || e.Action == sched.ActIORestored {
 			if len(e.Procs) != 1 {
 				return fail("processor event with %d processors", len(e.Procs))
 			}
@@ -102,11 +104,21 @@ func Check(log *sched.AuditLog, opt Options) error {
 					return fail("processor %d failed while already down", p)
 				}
 				down[p] = true
-			} else {
+			} else if e.Action == sched.ActProcRepair {
 				if !down[p] {
 					return fail("processor %d repaired while up", p)
 				}
 				down[p] = false
+			} else if e.Action == sched.ActIODegraded {
+				if iodegraded[p] {
+					return fail("processor %d io-degraded while already degraded", p)
+				}
+				iodegraded[p] = true
+			} else {
+				if !iodegraded[p] {
+					return fail("processor %d io-restored while not degraded", p)
+				}
+				iodegraded[p] = false
 			}
 			continue
 		}
@@ -195,6 +207,23 @@ func Check(log *sched.AuditLog, opt Options) error {
 			t.ran = 0
 			t.procs = nil
 			t.state = stArrived
+
+		case sched.ActIORetry, sched.ActIOExhausted:
+			// A transient I/O failure during a suspend write (Suspending)
+			// or a restart read (Running): the job keeps its state and its
+			// processors. ActIOExhausted announces the terminal attempt;
+			// the kill that follows does the releasing.
+			if t.state != stRunning && t.state != stSuspending {
+				return fail("%v from state %d", e.Action, t.state)
+			}
+			if !sameSet(e.Procs, t.procs) {
+				return fail("%v on set %v, job holds %v", e.Action, e.Procs, t.procs)
+			}
+			for _, p := range t.procs {
+				if owner[p] != e.JobID {
+					return fail("%v on processor %d owned by %d", e.Action, p, owner[p])
+				}
+			}
 
 		case sched.ActImageLost:
 			// A suspended job's image sat on a failed processor: it

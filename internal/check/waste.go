@@ -131,10 +131,13 @@ func Waste(log *sched.AuditLog, until int64) (WasteReport, error) {
 			if e.Width < minQueued {
 				minQueued = e.Width
 			}
-		case sched.ActSuspendBegin, sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+		case sched.ActSuspendBegin, sched.ActProcFail, sched.ActProcRepair,
+			sched.ActIORetry, sched.ActIOExhausted, sched.ActIODegraded,
+			sched.ActIORestored, sched.ActTick:
 			// No occupancy or queue change: a suspending job still holds
-			// its processors until ActSuspendDone, and processor/tick
-			// entries carry no job.
+			// its processors until ActSuspendDone, transient I/O retries
+			// and health transitions move no processors, and
+			// processor/tick entries carry no job.
 		}
 	}
 	account(until)

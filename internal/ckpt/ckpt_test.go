@@ -227,4 +227,17 @@ func TestOptSpecOptions(t *testing.T) {
 	if none.Overhead != nil || none.Faults.Enabled() {
 		t.Errorf("zero spec expanded to non-zero options: %+v", none)
 	}
+	if none.Transient.Enabled() {
+		t.Errorf("zero spec expanded to enabled transient faults: %+v", none.Transient)
+	}
+
+	trans := OptSpec{
+		IOWriteFail: 0.2, IOReadFail: 0.1, IOSeed: 4, IOMaxAttempts: 6,
+		IOBackoffBase: 10, IOBackoffCap: 90, IOHealthWindow: 1200, IOHealthThresh: 2,
+	}.Options().Transient
+	if !trans.Enabled() || trans.WriteFailProb != 0.2 || trans.ReadFailProb != 0.1 ||
+		trans.Seed != 4 || trans.MaxAttempts != 6 || trans.BackoffBase != 10 ||
+		trans.BackoffCap != 90 || trans.HealthWindow != 1200 || trans.HealthThreshold != 2 {
+		t.Errorf("transient config not expanded: %+v", trans)
+	}
 }

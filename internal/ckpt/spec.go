@@ -137,6 +137,17 @@ type OptSpec struct {
 	MTBF      int64 `json:"mtbf,omitempty"`
 	MTTR      int64 `json:"mttr,omitempty"`
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Transient I/O fault injection (both probabilities 0 disables).
+	// Every field is omitempty so checkpoints written before the
+	// transient-fault feature keep their byte format and hash path.
+	IOWriteFail    float64 `json:"io_write_fail,omitempty"`
+	IOReadFail     float64 `json:"io_read_fail,omitempty"`
+	IOSeed         int64   `json:"io_seed,omitempty"`
+	IOMaxAttempts  int     `json:"io_max_attempts,omitempty"`
+	IOBackoffBase  int64   `json:"io_backoff_base,omitempty"`
+	IOBackoffCap   int64   `json:"io_backoff_cap,omitempty"`
+	IOHealthWindow int64   `json:"io_health_window,omitempty"`
+	IOHealthThresh int     `json:"io_health_thresh,omitempty"`
 }
 
 // Options expands the spec into runnable sched.Options.
@@ -150,6 +161,16 @@ func (o OptSpec) Options() sched.Options {
 	}
 	if o.MTBF > 0 {
 		opt.Faults = fault.Config{MTBF: o.MTBF, MTTR: o.MTTR, Seed: o.FaultSeed}
+	}
+	opt.Transient = fault.TransientConfig{
+		WriteFailProb:   o.IOWriteFail,
+		ReadFailProb:    o.IOReadFail,
+		Seed:            o.IOSeed,
+		MaxAttempts:     o.IOMaxAttempts,
+		BackoffBase:     o.IOBackoffBase,
+		BackoffCap:      o.IOBackoffCap,
+		HealthWindow:    o.IOHealthWindow,
+		HealthThreshold: o.IOHealthThresh,
 	}
 	return opt
 }

@@ -259,6 +259,7 @@ func init() {
 	registerCoarseTables()
 	registerAblations()
 	registerFailureSweep()
+	registerTransientSweep()
 }
 
 func registerTheoryFigs() {

@@ -41,6 +41,23 @@ type memoKey struct {
 	Jobs     int    `json:"jobs"`
 	Seed     int64  `json:"seed"`
 	MaxSteps int64  `json:"max_steps"`
+	// Fault-injection parameters. Every field is omitempty so the key
+	// JSON (and hence the filename hash) of a no-fault run is
+	// byte-identical to the pre-fault schema — existing caches stay
+	// valid — while two configurations differing in any fault knob get
+	// distinct paths and fail the in-file key comparison.
+	MTBF           int64   `json:"mtbf,omitempty"`
+	MTTR           int64   `json:"mttr,omitempty"`
+	FaultSeed      int64   `json:"fault_seed,omitempty"`
+	IOWriteFail    float64 `json:"io_write_fail,omitempty"`
+	IOReadFail     float64 `json:"io_read_fail,omitempty"`
+	IOSeed         int64   `json:"io_seed,omitempty"`
+	IOMaxAttempts  int     `json:"io_max_attempts,omitempty"`
+	IOBackoffBase  int64   `json:"io_backoff_base,omitempty"`
+	IOBackoffCap   int64   `json:"io_backoff_cap,omitempty"`
+	IOFailFirst    int     `json:"io_fail_first,omitempty"`
+	IOHealthWindow int64   `json:"io_health_window,omitempty"`
+	IOHealthThresh int     `json:"io_health_thresh,omitempty"`
 }
 
 // memoJob is the serialized form of a finished job: the static
@@ -77,19 +94,35 @@ type memoFile struct {
 	FailKills         int       `json:"fail_kills,omitempty"`
 	ImagesLost        int       `json:"images_lost,omitempty"`
 	LostWorkSeconds   int64     `json:"lost_work_seconds,omitempty"`
+	IORetries         int       `json:"io_retries,omitempty"`
+	IOExhaustions     int       `json:"io_exhaustions,omitempty"`
+	IODegradations    int       `json:"io_degradations,omitempty"`
+	IORestores        int       `json:"io_restores,omitempty"`
 	Jobs              []memoJob `json:"jobs"`
 }
 
 func (r *Runner) memoKey(rk runKey) memoKey {
 	return memoKey{
-		Model:    rk.tk.model,
-		Est:      int(rk.tk.est),
-		LoadPct:  rk.tk.loadPct,
-		Scheme:   rk.scheme,
-		Overhead: rk.overhead,
-		Jobs:     r.cfg.Jobs,
-		Seed:     r.cfg.Seed,
-		MaxSteps: r.cfg.MaxSteps,
+		Model:          rk.tk.model,
+		Est:            int(rk.tk.est),
+		LoadPct:        rk.tk.loadPct,
+		Scheme:         rk.scheme,
+		Overhead:       rk.overhead,
+		Jobs:           r.cfg.Jobs,
+		Seed:           r.cfg.Seed,
+		MaxSteps:       r.cfg.MaxSteps,
+		MTBF:           r.cfg.Faults.MTBF,
+		MTTR:           r.cfg.Faults.MTTR,
+		FaultSeed:      r.cfg.Faults.Seed,
+		IOWriteFail:    r.cfg.Transient.WriteFailProb,
+		IOReadFail:     r.cfg.Transient.ReadFailProb,
+		IOSeed:         r.cfg.Transient.Seed,
+		IOMaxAttempts:  r.cfg.Transient.MaxAttempts,
+		IOBackoffBase:  r.cfg.Transient.BackoffBase,
+		IOBackoffCap:   r.cfg.Transient.BackoffCap,
+		IOFailFirst:    r.cfg.Transient.FailFirst,
+		IOHealthWindow: r.cfg.Transient.HealthWindow,
+		IOHealthThresh: r.cfg.Transient.HealthThreshold,
 	}
 }
 
@@ -168,6 +201,10 @@ func (r *Runner) loadMemo(mk memoKey) (*sched.Result, bool) {
 		FailKills:         m.FailKills,
 		ImagesLost:        m.ImagesLost,
 		LostWorkSeconds:   m.LostWorkSeconds,
+		IORetries:         m.IORetries,
+		IOExhaustions:     m.IOExhaustions,
+		IODegradations:    m.IODegradations,
+		IORestores:        m.IORestores,
 		Jobs:              make([]*job.Job, len(m.Jobs)),
 	}
 	for i, mj := range m.Jobs {
@@ -205,6 +242,10 @@ func (r *Runner) saveMemo(mk memoKey, res *sched.Result) {
 		FailKills:         res.FailKills,
 		ImagesLost:        res.ImagesLost,
 		LostWorkSeconds:   res.LostWorkSeconds,
+		IORetries:         res.IORetries,
+		IOExhaustions:     res.IOExhaustions,
+		IODegradations:    res.IODegradations,
+		IORestores:        res.IORestores,
 		Jobs:              make([]memoJob, len(res.Jobs)),
 	}
 	for i, j := range res.Jobs {

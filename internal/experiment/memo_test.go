@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"pjs/internal/fault"
 	"pjs/internal/metrics"
 	"pjs/internal/workload"
 )
@@ -113,6 +115,92 @@ func TestMemoKeyMismatchIsMiss(t *testing.T) {
 	}
 	if _, ok := b.loadMemo(bk); ok {
 		t.Error("memo entry for seed 5 was recalled for seed 6")
+	}
+}
+
+// TestMemoFaultConfigsNeverCollide: two configurations that differ ONLY
+// in fault settings must neither share a memo path nor recall each
+// other's entries — a cached fault-free run must never answer for a
+// fault-injected one (or vice versa), across both fault families and
+// every transient knob.
+func TestMemoFaultConfigsNeverCollide(t *testing.T) {
+	dir := t.TempDir()
+	rk := runKey{tk: traceKey{"SDSC", workload.EstimateAccurate, 100}, scheme: SS(2).Label, overhead: true}
+	base := Config{Jobs: 120, Seed: 5, MemoDir: dir}
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"procfaults", func() Config {
+			c := base
+			c.Faults = fault.Config{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 5}
+			return c
+		}()},
+		{"procfaults-other-seed", func() Config {
+			c := base
+			c.Faults = fault.Config{MTBF: 300 * 3600, MTTR: 2 * 3600, Seed: 6}
+			return c
+		}()},
+		{"transient", func() Config {
+			c := base
+			c.Transient = fault.TransientConfig{WriteFailProb: 0.2, ReadFailProb: 0.2, Seed: 5}
+			return c
+		}()},
+		{"transient-other-prob", func() Config {
+			c := base
+			c.Transient = fault.TransientConfig{WriteFailProb: 0.2, ReadFailProb: 0.3, Seed: 5}
+			return c
+		}()},
+		{"transient-other-backoff", func() Config {
+			c := base
+			c.Transient = fault.TransientConfig{WriteFailProb: 0.2, ReadFailProb: 0.2, Seed: 5, BackoffBase: 60}
+			return c
+		}()},
+	}
+	baseRunner := NewRunner(base)
+	baseKey := baseRunner.memoKey(rk)
+	basePath := baseRunner.memoPath(baseKey)
+	seenPaths := map[string]string{basePath: "base"}
+	// Write a genuine base entry so a colliding recall would succeed.
+	_ = resultFingerprint(memoRunner(t, dir), SS(2))
+	for _, v := range variants {
+		r := NewRunner(v.cfg)
+		mk := r.memoKey(rk)
+		if mk == baseKey {
+			t.Errorf("%s: memo key equals the fault-free key", v.name)
+		}
+		path := r.memoPath(mk)
+		if prev, dup := seenPaths[path]; dup {
+			t.Errorf("%s: memo path collides with %s: %s", v.name, prev, path)
+		}
+		seenPaths[path] = v.name
+		// Even under a forced path collision the in-file key must miss.
+		if err := os.Rename(basePath, path); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.loadMemo(mk); ok {
+			t.Errorf("%s: fault-free memo entry was recalled for a faulty configuration", v.name)
+		}
+		if err := os.Rename(path, basePath); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMemoKeyJSONBackCompat pins the no-fault key serialization: every
+// fault field is omitempty, so the key JSON — and hence the filename
+// hash — of a fault-free run must be byte-identical to the pre-fault
+// schema, keeping existing caches valid.
+func TestMemoKeyJSONBackCompat(t *testing.T) {
+	r := NewRunner(Config{Jobs: 120, Seed: 5, MemoDir: t.TempDir()})
+	mk := r.memoKey(runKey{tk: traceKey{"SDSC", workload.EstimateAccurate, 100}, scheme: "SF = 2", overhead: true})
+	got, err := json.Marshal(mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"model":"SDSC","est":0,"load_pct":100,"scheme":"SF = 2","overhead":true,"jobs":120,"seed":5,"max_steps":200000000}`
+	if string(got) != want {
+		t.Errorf("no-fault memo key JSON changed (existing caches invalidated):\n got:  %s\n want: %s", got, want)
 	}
 }
 

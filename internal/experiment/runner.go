@@ -10,6 +10,7 @@ import (
 
 	"pjs/internal/check"
 	"pjs/internal/core"
+	"pjs/internal/fault"
 	"pjs/internal/metrics"
 	"pjs/internal/obs"
 	"pjs/internal/overhead"
@@ -45,6 +46,15 @@ type Config struct {
 	// — and a run recalled from the MemoDir disk cache adds nothing
 	// either.
 	Counters *obs.Registry
+	// Faults enables deterministic processor fault injection for every
+	// simulation the runner executes (the zero value disables it). Part
+	// of the memo key: results cached under one fault configuration are
+	// never recalled for another.
+	Faults fault.Config
+	// Transient enables deterministic transient suspend/restart I/O
+	// fault injection for every simulation (the zero value disables
+	// it). Also part of the memo key.
+	Transient fault.TransientConfig
 	// MemoDir, when set, persists each simulation result as a
 	// checksummed memo file (memo.go) so an interrupted sweep resumes
 	// without recomputing finished runs. Corrupt, truncated or foreign
@@ -309,7 +319,12 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 		}
 	}
 	t := r.Trace(rk.tk.model, rk.tk.est, rk.tk.loadPct)
-	opt := sched.Options{MaxSteps: r.cfg.MaxSteps, Audit: r.cfg.Verify}
+	opt := sched.Options{
+		MaxSteps:  r.cfg.MaxSteps,
+		Audit:     r.cfg.Verify,
+		Faults:    r.cfg.Faults,
+		Transient: r.cfg.Transient,
+	}
 	if oh {
 		opt.Overhead = overhead.Disk{}
 	}
@@ -319,7 +334,12 @@ func (r *Runner) resultFor(rk runKey, sc Scheme, oh bool) *sched.Result {
 	res := sched.Run(t, sc.make(r, rk.tk), opt)
 	r.eventsSimulated += res.Events
 	if r.cfg.Verify {
-		copt := check.Options{ZeroOverhead: !oh, AllowMigration: sc.migrates}
+		// Transient read retries pad run segments with backoff time, so
+		// exact work conservation only holds without them.
+		copt := check.Options{
+			ZeroOverhead:   !oh && !r.cfg.Transient.Enabled(),
+			AllowMigration: sc.migrates,
+		}
 		if err := check.Check(res.Audit, copt); err != nil {
 			panic(fmt.Sprintf("experiment: %s on %s: %v", sc.Label, t.Name, err))
 		}

@@ -1,0 +1,146 @@
+package fault
+
+import "testing"
+
+func TestTransientConfigEnabled(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TransientConfig
+		want bool
+	}{
+		{"zero", TransientConfig{}, false},
+		{"write", TransientConfig{WriteFailProb: 0.1}, true},
+		{"read", TransientConfig{ReadFailProb: 0.1}, true},
+		{"failfirst", TransientConfig{FailFirst: 2}, true},
+		{"seed-only", TransientConfig{Seed: 7}, false},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("%s: Enabled() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTransientDefaults(t *testing.T) {
+	var c TransientConfig
+	if got := c.Attempts(); got != DefaultMaxAttempts {
+		t.Errorf("Attempts() = %d, want %d", got, DefaultMaxAttempts)
+	}
+	if got := c.Window(); got != DefaultHealthWindow {
+		t.Errorf("Window() = %d, want %d", got, DefaultHealthWindow)
+	}
+	if got := c.Threshold(); got != DefaultHealthThreshold {
+		t.Errorf("Threshold() = %d, want %d", got, DefaultHealthThreshold)
+	}
+	c = TransientConfig{MaxAttempts: 2, HealthWindow: 60, HealthThreshold: 1}
+	if got := c.Attempts(); got != 2 {
+		t.Errorf("Attempts() = %d, want 2", got)
+	}
+	if got := c.Window(); got != 60 {
+		t.Errorf("Window() = %d, want 60", got)
+	}
+	if got := c.Threshold(); got != 1 {
+		t.Errorf("Threshold() = %d, want 1", got)
+	}
+}
+
+func TestTransientBackoffDoublesAndCaps(t *testing.T) {
+	c := TransientConfig{BackoffBase: 10, BackoffCap: 35}
+	want := []int64{10, 20, 35, 35, 35}
+	for i, w := range want {
+		if got := c.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	var d TransientConfig
+	if got := d.Backoff(1); got != DefaultBackoffBase {
+		t.Errorf("default Backoff(1) = %d, want %d", got, DefaultBackoffBase)
+	}
+	if got := d.Backoff(100); got != DefaultBackoffCap {
+		t.Errorf("default Backoff(100) = %d, want %d", got, DefaultBackoffCap)
+	}
+}
+
+// Two injectors with the same config must draw identical fault
+// patterns, regardless of how set-level calls are batched.
+func TestTransientInjectorDeterministic(t *testing.T) {
+	cfg := TransientConfig{WriteFailProb: 0.4, ReadFailProb: 0.3, Seed: 99}
+	a := NewTransientInjector(cfg)
+	b := NewTransientInjector(cfg)
+	var pattern []bool
+	for k := 0; k < 200; k++ {
+		pattern = append(pattern, a.failNext(3, cfg.WriteFailProb))
+	}
+	for k := 0; k < 200; k++ {
+		if got := b.failNext(3, cfg.WriteFailProb); got != pattern[k] {
+			t.Fatalf("draw %d: injectors disagree (%v vs %v)", k, pattern[k], got)
+		}
+	}
+}
+
+// Per-processor streams must be independent: consuming draws on one
+// processor must not change another processor's stream.
+func TestTransientStreamsIndependent(t *testing.T) {
+	cfg := TransientConfig{WriteFailProb: 0.5, Seed: 5}
+	a := NewTransientInjector(cfg)
+	b := NewTransientInjector(cfg)
+	// Burn 100 draws on processor 0 of a only.
+	for k := 0; k < 100; k++ {
+		a.failNext(0, cfg.WriteFailProb)
+	}
+	for k := 0; k < 100; k++ {
+		x := a.failNext(7, cfg.WriteFailProb)
+		y := b.failNext(7, cfg.WriteFailProb)
+		if x != y {
+			t.Fatalf("proc 7 draw %d differs after burning proc 0 draws", k)
+		}
+	}
+}
+
+func TestTransientFailFirst(t *testing.T) {
+	cfg := TransientConfig{FailFirst: 3, Seed: 1}
+	in := NewTransientInjector(cfg)
+	// First three draws on any processor fail even at probability 0.
+	for k := 0; k < 3; k++ {
+		if !in.failNext(2, 0) {
+			t.Fatalf("draw %d on proc 2: want forced failure", k)
+		}
+	}
+	// With probability 0, the probabilistic regime never fails.
+	for k := 0; k < 50; k++ {
+		if in.failNext(2, 0) {
+			t.Fatalf("draw %d past FailFirst failed at prob 0", k)
+		}
+	}
+}
+
+func TestTransientFailingSubsets(t *testing.T) {
+	in := NewTransientInjector(TransientConfig{FailFirst: 1, Seed: 2})
+	// First draw per proc fails: whole set.
+	got := in.FailingWrite([]int{4, 1, 9})
+	if len(got) != 3 || got[0] != 4 || got[1] != 1 || got[2] != 9 {
+		t.Fatalf("FailingWrite first pass = %v, want [4 1 9]", got)
+	}
+	// Second draw per proc: prob 0 regime, nothing fails.
+	if got := in.FailingRead([]int{4, 1, 9}); got != nil {
+		t.Fatalf("FailingRead second pass = %v, want nil", got)
+	}
+}
+
+// Empirical sanity: observed failure frequency tracks the configured
+// probability (deterministic given the fixed seed).
+func TestTransientProbabilityRoughlyCalibrated(t *testing.T) {
+	cfg := TransientConfig{WriteFailProb: 0.25, Seed: 123}
+	in := NewTransientInjector(cfg)
+	fails := 0
+	const n = 20000
+	for k := 0; k < n; k++ {
+		if in.failNext(0, cfg.WriteFailProb) {
+			fails++
+		}
+	}
+	freq := float64(fails) / n
+	if freq < 0.22 || freq > 0.28 {
+		t.Fatalf("observed failure freq %.4f, want ~0.25", freq)
+	}
+}

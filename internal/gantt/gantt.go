@@ -71,10 +71,14 @@ func Render(log *sched.AuditLog, opt Options) string {
 			}
 			busySeconds[e.JobID] += (e.Time - lastOwn[e.JobID]) * int64(len(e.Procs))
 		case sched.ActArrive, sched.ActSuspendBegin, sched.ActImageLost,
-			sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+			sched.ActProcFail, sched.ActProcRepair, sched.ActIORetry,
+			sched.ActIOExhausted, sched.ActIODegraded, sched.ActIORestored,
+			sched.ActTick:
 			// No ownership change: arrivals hold nothing, a suspending
 			// job keeps its processors until ActSuspendDone, a lost
-			// image held none, and processor/tick entries carry no job.
+			// image held none, transient I/O retries and health
+			// transitions move no processors, and processor/tick entries
+			// carry no job.
 		}
 	}
 

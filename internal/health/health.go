@@ -1,0 +1,104 @@
+// Package health tracks per-processor I/O health from transient
+// suspend/restart fault observations, entirely in virtual time.
+//
+// The scheduler records each transient I/O failure against the
+// processors it hit; when a processor accumulates `threshold` failures
+// inside a sliding `window` of virtual seconds it is marked degraded.
+// Victim selection consults Degraded so preemptive policies (SS, TSS,
+// IS) stop choosing victims whose image I/O is likely to fail — the
+// system degrades smoothly toward pure backfilling as failure rates
+// rise — and Sweep recovers processors once their window clears.
+//
+// Everything is keyed to simulated time passed in by the caller; the
+// package never reads a wall clock, keeping pjslint's wallclock check
+// green and runs byte-reproducible.
+package health
+
+// Tracker is a windowed per-processor failure counter. It is not
+// safe for concurrent use; the simulation engine is single-threaded.
+type Tracker struct {
+	window    int64
+	threshold int
+	fails     [][]int64 // per-processor failure timestamps, ascending
+	degraded  []bool
+}
+
+// New returns a tracker for procs processors: a processor becomes
+// degraded at threshold failures within window virtual seconds.
+// Both parameters must be positive.
+func New(procs int, window int64, threshold int) *Tracker {
+	if procs < 0 {
+		panic("health: negative processor count")
+	}
+	if window <= 0 || threshold <= 0 {
+		panic("health: window and threshold must be positive")
+	}
+	return &Tracker{
+		window:    window,
+		threshold: threshold,
+		fails:     make([][]int64, procs),
+		degraded:  make([]bool, procs),
+	}
+}
+
+// RecordFailure notes a transient I/O failure on processor p at virtual
+// time now and reports whether this crossing newly degraded p.
+func (t *Tracker) RecordFailure(now int64, p int) bool {
+	t.prune(now, p)
+	t.fails[p] = append(t.fails[p], now)
+	if !t.degraded[p] && len(t.fails[p]) >= t.threshold {
+		t.degraded[p] = true
+		return true
+	}
+	return false
+}
+
+// Degraded reports whether processor p is currently marked degraded.
+// Degradation only clears via Sweep, so the answer is stable between
+// sweeps regardless of elapsed time.
+func (t *Tracker) Degraded(p int) bool {
+	return p < len(t.degraded) && t.degraded[p]
+}
+
+// Healthy reports whether every processor in set is non-degraded.
+func (t *Tracker) Healthy(set []int) bool {
+	for _, p := range set {
+		if t.Degraded(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sweep prunes all windows at virtual time now and clears degradation
+// for processors whose windowed count fell below the threshold.
+// It returns the recovered processors in ascending order.
+func (t *Tracker) Sweep(now int64) []int {
+	var recovered []int
+	for p := range t.degraded {
+		if !t.degraded[p] {
+			continue
+		}
+		t.prune(now, p)
+		if len(t.fails[p]) < t.threshold {
+			t.degraded[p] = false
+			recovered = append(recovered, p)
+		}
+	}
+	return recovered
+}
+
+// prune drops failures older than the window from processor p.
+// Timestamps arrive in nondecreasing order (virtual time only moves
+// forward), so the slice stays sorted and pruning is a prefix cut.
+func (t *Tracker) prune(now int64, p int) {
+	cut := now - t.window
+	f := t.fails[p]
+	i := 0
+	for i < len(f) && f[i] <= cut {
+		i++
+	}
+	if i > 0 {
+		t.fails[p] = append(f[:0], f[i:]...)
+	}
+}

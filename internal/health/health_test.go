@@ -1,0 +1,104 @@
+package health
+
+import "testing"
+
+func TestDegradesAtThreshold(t *testing.T) {
+	tr := New(4, 100, 3)
+	if tr.RecordFailure(10, 1) {
+		t.Fatal("first failure should not degrade")
+	}
+	if tr.RecordFailure(20, 1) {
+		t.Fatal("second failure should not degrade")
+	}
+	if !tr.RecordFailure(30, 1) {
+		t.Fatal("third failure within window should degrade")
+	}
+	if !tr.Degraded(1) {
+		t.Fatal("proc 1 should be degraded")
+	}
+	if tr.Degraded(0) || tr.Degraded(2) {
+		t.Fatal("other procs must be unaffected")
+	}
+	// Further failures on an already-degraded proc do not re-report.
+	if tr.RecordFailure(40, 1) {
+		t.Fatal("failure on already-degraded proc must not report a crossing")
+	}
+}
+
+func TestWindowExpiryPreventsDegradation(t *testing.T) {
+	tr := New(2, 100, 3)
+	tr.RecordFailure(0, 0)
+	tr.RecordFailure(50, 0)
+	// Third failure arrives after the first left the window: no crossing.
+	if tr.RecordFailure(150, 0) {
+		t.Fatal("stale failure should have been pruned; no degradation expected")
+	}
+	if tr.Degraded(0) {
+		t.Fatal("proc 0 should not be degraded")
+	}
+}
+
+func TestSweepRecovery(t *testing.T) {
+	tr := New(3, 100, 2)
+	tr.RecordFailure(10, 2)
+	if !tr.RecordFailure(20, 2) {
+		t.Fatal("expected degradation at second failure")
+	}
+	// Before the window clears, sweeping changes nothing.
+	if rec := tr.Sweep(60); rec != nil {
+		t.Fatalf("Sweep(60) = %v, want nil", rec)
+	}
+	if !tr.Degraded(2) {
+		t.Fatal("proc 2 should remain degraded before window clears")
+	}
+	// Once both failures age out, the processor recovers.
+	rec := tr.Sweep(121)
+	if len(rec) != 1 || rec[0] != 2 {
+		t.Fatalf("Sweep(121) = %v, want [2]", rec)
+	}
+	if tr.Degraded(2) {
+		t.Fatal("proc 2 should have recovered")
+	}
+	// Recovery is reported once.
+	if rec := tr.Sweep(200); rec != nil {
+		t.Fatalf("second Sweep = %v, want nil", rec)
+	}
+}
+
+func TestSweepReturnsAscending(t *testing.T) {
+	tr := New(5, 10, 1)
+	tr.RecordFailure(0, 4)
+	tr.RecordFailure(0, 1)
+	tr.RecordFailure(0, 3)
+	rec := tr.Sweep(100)
+	want := []int{1, 3, 4}
+	if len(rec) != len(want) {
+		t.Fatalf("Sweep = %v, want %v", rec, want)
+	}
+	for i := range want {
+		if rec[i] != want[i] {
+			t.Fatalf("Sweep = %v, want %v", rec, want)
+		}
+	}
+}
+
+func TestHealthySet(t *testing.T) {
+	tr := New(4, 100, 1)
+	tr.RecordFailure(5, 2)
+	if tr.Healthy([]int{0, 1, 2}) {
+		t.Fatal("set containing degraded proc 2 must be unhealthy")
+	}
+	if !tr.Healthy([]int{0, 1, 3}) {
+		t.Fatal("set of clean procs must be healthy")
+	}
+	if !tr.Healthy(nil) {
+		t.Fatal("empty set is vacuously healthy")
+	}
+}
+
+func TestDegradedOutOfRange(t *testing.T) {
+	tr := New(2, 10, 1)
+	if tr.Degraded(99) {
+		t.Fatal("out-of-range proc must read as healthy")
+	}
+}

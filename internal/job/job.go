@@ -196,6 +196,21 @@ func (j *Job) Dispatch(now, readOverhead int64) (completion int64) {
 	return now + readOverhead + j.Remaining()
 }
 
+// ExtendRead adds delay seconds to the restart-read overhead of a
+// running job whose image read failed transiently and is being retried:
+// the backoff wait plus the repeated read both occupy processors
+// without compute progress, so they must count as waiting (PendingRead
+// pushes the start of the compute burst, keeping ranAt and Wait exact).
+func (j *Job) ExtendRead(delay int64) {
+	if j.State != Running {
+		panic(fmt.Sprintf("job %d: ExtendRead in state %v", j.ID, j.State))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("job %d: ExtendRead with negative delay %d", j.ID, delay))
+	}
+	j.PendingRead += delay
+}
+
 // Preempt records that the job stops computing at time now and begins
 // writing its memory image to disk (state Suspending). Compute progress
 // accrued in the current burst is banked into Ran.

@@ -53,6 +53,12 @@ type Counters struct {
 	// then, keeping no-fault output byte-identical.
 	ProcFails, ProcRepairs, ImageLosses, LostWorkSeconds int64
 
+	// Transient-I/O counts: retried and terminally exhausted
+	// suspend-write/restart-read operations, and processor health
+	// degradation/recovery transitions. All stay zero without transient
+	// fault injection, and the canonical String render omits them then.
+	IORetries, IOExhaustions, IODegradations, IORestores int64
+
 	// PerCategory breaks starts/resumes/suspensions/kills/finishes down
 	// by the job's 16-way category.
 	PerCategory [16]CategoryCounters
@@ -130,6 +136,14 @@ func (c *Counters) Observe(ev sched.Event) {
 		c.ProcFails++
 	case sched.ActProcRepair:
 		c.ProcRepairs++
+	case sched.ActIORetry:
+		c.IORetries++
+	case sched.ActIOExhausted:
+		c.IOExhaustions++
+	case sched.ActIODegraded:
+		c.IODegradations++
+	case sched.ActIORestored:
+		c.IORestores++
 	case sched.ActTick:
 		c.Ticks++
 	}
@@ -184,6 +198,10 @@ func (c Counters) Minus(prev Counters) Counters {
 	d.ProcRepairs -= prev.ProcRepairs
 	d.ImageLosses -= prev.ImageLosses
 	d.LostWorkSeconds -= prev.LostWorkSeconds
+	d.IORetries -= prev.IORetries
+	d.IOExhaustions -= prev.IOExhaustions
+	d.IODegradations -= prev.IODegradations
+	d.IORestores -= prev.IORestores
 	for i := range d.PerCategory {
 		d.PerCategory[i].Starts -= prev.PerCategory[i].Starts
 		d.PerCategory[i].Resumes -= prev.PerCategory[i].Resumes
@@ -204,7 +222,8 @@ func (c Counters) IsZero() bool {
 		c.Kills == 0 && c.Ticks == 0 && c.BackfillStarts == 0 &&
 		c.PreemptionWaves == 0 && c.SuspendedImageBytes == 0 &&
 		c.ProcFails == 0 && c.ProcRepairs == 0 && c.ImageLosses == 0 &&
-		c.LostWorkSeconds == 0
+		c.LostWorkSeconds == 0 && c.IORetries == 0 && c.IOExhaustions == 0 &&
+		c.IODegradations == 0 && c.IORestores == 0
 }
 
 // String renders the counters in a canonical one-value-per-token form.
@@ -222,6 +241,12 @@ func (c *Counters) String() string {
 		// no-fault runs stay byte-identical to pre-fault builds.
 		fmt.Fprintf(&b, "proc-fails=%d proc-repairs=%d image-losses=%d lost-work-seconds=%d\n",
 			c.ProcFails, c.ProcRepairs, c.ImageLosses, c.LostWorkSeconds)
+	}
+	if c.IORetries != 0 || c.IOExhaustions != 0 || c.IODegradations != 0 || c.IORestores != 0 {
+		// Rendered only when transient I/O faults produced activity, so
+		// runs without them stay byte-identical to earlier builds.
+		fmt.Fprintf(&b, "io-retries=%d io-exhaustions=%d io-degradations=%d io-restores=%d\n",
+			c.IORetries, c.IOExhaustions, c.IODegradations, c.IORestores)
 	}
 	for i, cc := range c.PerCategory {
 		if cc.zero() {

@@ -23,6 +23,11 @@ const (
 	CatKill      = "killed"        // an aborted execution (speculative gamble or processor failure)
 	CatDown      = "down"          // a processor out of service after a failure
 	CatImageLost = "image-lost"    // a suspended image stranded on a failed processor
+
+	// Transient suspend/restart I/O fault categories.
+	CatIORetry     = "io-retry"     // a transiently failed image write/read, retry scheduled
+	CatIOExhausted = "io-exhausted" // an image write/read failed on its final attempt
+	CatIODegraded  = "io-degraded"  // a processor over the windowed I/O failure threshold
 )
 
 // tracePid is the single process all tracks live under; each processor
@@ -128,6 +133,10 @@ type TraceBuilder struct {
 	// open at export). Untouched without faults.
 	downSince map[int]int64
 	lastTime  int64
+
+	// Transient-I/O health state: processor -> degradation time of the
+	// open io-degraded span. Untouched without transient faults.
+	degradedSince map[int]int64
 }
 
 // NewTraceBuilder returns a builder for a machine of the given size,
@@ -165,6 +174,8 @@ func (b *TraceBuilder) Observe(ev sched.Event) {
 	if j == nil {
 		if ev.Action == sched.ActProcFail || ev.Action == sched.ActProcRepair {
 			b.observeFault(ev)
+		} else if ev.Action == sched.ActIODegraded || ev.Action == sched.ActIORestored {
+			b.observeIOHealth(ev)
 		}
 		return
 	}
@@ -196,10 +207,24 @@ func (b *TraceBuilder) Observe(ev sched.Event) {
 		// The stranded image is a zero-duration marker on the set the
 		// job was suspended on (it held no processors at the time).
 		b.emitSlices(j, ev.Procs, ev.Time, 0, CatImageLost)
-	case sched.ActArrive, sched.ActProcFail, sched.ActProcRepair, sched.ActTick:
+	case sched.ActIORetry, sched.ActIOExhausted:
+		// A transient I/O failure is a zero-duration marker on the set
+		// the operation ran on; the job's open segment stays open (it
+		// still holds its processors through the retry or the kill).
+		cat := CatIORetry
+		if ev.Action == sched.ActIOExhausted {
+			cat = CatIOExhausted
+		}
+		b.emitSlices(j, ev.Procs, ev.Time, 0, cat)
+		if seg := b.open[j.ID]; seg != nil && !seg.write {
+			// A retried restart read extends the read head of the burst.
+			seg.read = j.PendingRead
+		}
+	case sched.ActArrive, sched.ActProcFail, sched.ActProcRepair,
+		sched.ActIODegraded, sched.ActIORestored, sched.ActTick:
 		// No slice: arrivals open nothing (the queue is not a track),
-		// and processor/tick events carry no job — faults are handled
-		// by observeFault on the job-less path above.
+		// and processor/tick/health events carry no job — faults and
+		// health transitions are handled on the job-less path above.
 	}
 }
 
@@ -216,6 +241,30 @@ func (b *TraceBuilder) observeFault(ev sched.Event) {
 		delete(b.downSince, p)
 		b.emitDown(p, start, ev.Time)
 	}
+}
+
+// observeIOHealth maintains the per-processor io-degraded spans. Only
+// called for ActIODegraded and ActIORestored (the caller dispatches).
+func (b *TraceBuilder) observeIOHealth(ev sched.Event) {
+	p := ev.Procs[0]
+	if ev.Action == sched.ActIODegraded {
+		if b.degradedSince == nil {
+			b.degradedSince = make(map[int]int64)
+		}
+		b.degradedSince[p] = ev.Time
+	} else if start, ok := b.degradedSince[p]; ok {
+		delete(b.degradedSince, p)
+		b.emitDegraded(p, start, ev.Time)
+	}
+}
+
+// emitDegraded emits one io-degraded slice for processor p.
+func (b *TraceBuilder) emitDegraded(p int, start, end int64) {
+	b.slices = append(b.slices, downSliceEvent{
+		Name: "io-degraded", Cat: CatIODegraded, Ph: "X",
+		Ts: start * tsScale, Dur: (end - start) * tsScale,
+		Pid: tracePid, Tid: p,
+	})
 }
 
 // emitDown emits one down slice for processor p over [start, end].
@@ -286,6 +335,10 @@ func sliceName(id int, cat string) string {
 		return base + " (killed)"
 	case CatImageLost:
 		return base + " (image lost)"
+	case CatIORetry:
+		return base + " (io retry)"
+	case CatIOExhausted:
+		return base + " (io exhausted)"
 	}
 	return base
 }
@@ -347,6 +400,22 @@ func (b *TraceBuilder) WriteJSON(w io.Writer) error {
 			b.emitDown(p, b.downSince[p], end)
 		}
 		b.downSince = nil
+	}
+	// Likewise for io-degraded spans still open at the end of the run.
+	if len(b.degradedSince) > 0 {
+		procs := make([]int, 0, len(b.degradedSince))
+		for p := range b.degradedSince {
+			procs = append(procs, p)
+		}
+		sort.Ints(procs)
+		for _, p := range procs {
+			end := b.lastTime
+			if end < b.degradedSince[p] {
+				end = b.degradedSince[p]
+			}
+			b.emitDegraded(p, b.degradedSince[p], end)
+		}
+		b.degradedSince = nil
 	}
 	all := make([]any, 0, len(b.meta)+len(b.slices)+len(b.counters))
 	all = append(all, b.meta...)

@@ -40,6 +40,25 @@ const (
 	// ActProcRepair records a failed processor returning to service.
 	// Like ActProcFail it carries no job.
 	ActProcRepair
+	// ActIORetry records a transient suspend-write or restart-read I/O
+	// failure for which a backed-off retry was scheduled. The job keeps
+	// its processors and state; Procs records the set the operation ran
+	// on.
+	ActIORetry
+	// ActIOExhausted records a transient I/O failure on the operation's
+	// final permitted attempt: no further retry is scheduled and the job
+	// is about to be killed back to the queue (the ActKill that follows
+	// carries the lost work).
+	ActIOExhausted
+	// ActIODegraded records a processor crossing the windowed transient
+	// I/O failure threshold: victim selection stops choosing victims on
+	// it until it recovers. Like ActProcFail it carries no job — JobID
+	// is -1 and Procs holds the processor.
+	ActIODegraded
+	// ActIORestored records a degraded processor's failure window
+	// clearing: it is eligible for victim placement again. Carries no
+	// job.
+	ActIORestored
 	// ActTick is the periodic scheduler-tick heartbeat. It is emitted
 	// to observers only (Event.Job is nil) and never appears in the
 	// audit log, which records job actions exclusively.
@@ -71,6 +90,14 @@ func (a Action) String() string {
 		return "proc-fail"
 	case ActProcRepair:
 		return "proc-repair"
+	case ActIORetry:
+		return "io-retry"
+	case ActIOExhausted:
+		return "io-exhausted"
+	case ActIODegraded:
+		return "io-degraded"
+	case ActIORestored:
+		return "io-restored"
 	case ActTick:
 		return "tick"
 	}

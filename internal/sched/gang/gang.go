@@ -202,6 +202,14 @@ func (s *Sched) rotate() {
 	draining := false
 	for _, q := range s.rows[s.active].jobs {
 		if q.State == job.Running {
+			if !s.env.SetIOHealthy(q.ProcSet) {
+				// Degraded-mode rotation: a job on processors over the
+				// transient-I/O failure threshold keeps the machine through
+				// the next quantum — its image write would likely fail, and
+				// unconditional rotation would kill-and-requeue wide jobs
+				// every quantum without ever letting them finish.
+				continue
+			}
 			s.env.Suspend(q)
 			draining = true
 		}

@@ -144,10 +144,13 @@ func (s *Sched) tryImmediate(j *job.Job, now int64) {
 		return // StartFresh path already handled it
 	}
 	// Victims in ascending instantaneous-xfactor among unprotected
-	// running jobs; IS has no width restriction.
+	// running jobs; IS has no width restriction. Jobs on I/O-degraded
+	// processors are not candidates — their suspension write would
+	// likely fail — so under rising transient-fault rates IS degrades
+	// toward serving only what fits the free processors.
 	var cands []*job.Job
 	for _, r := range s.running {
-		if r.State == job.Running && !s.protected(r, now) {
+		if r.State == job.Running && !s.protected(r, now) && s.env.SetIOHealthy(r.ProcSet) {
 			cands = append(cands, r)
 		}
 	}

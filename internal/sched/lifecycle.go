@@ -22,6 +22,7 @@ import (
 
 	"pjs/internal/cluster"
 	"pjs/internal/fault"
+	"pjs/internal/health"
 	"pjs/internal/job"
 	"pjs/internal/overhead"
 	"pjs/internal/sim"
@@ -327,6 +328,11 @@ func RunContext(ctx context.Context, t *workload.Trace, s Scheduler, opt Options
 		env.engine.AddJob(j)
 		env.byID[j.ID] = j
 	}
+	if opt.Transient.Enabled() {
+		env.trans = fault.NewTransientInjector(opt.Transient)
+		env.health = health.New(t.Procs, opt.Transient.Window(), opt.Transient.Threshold())
+		env.ioAttempts = make(map[int]int)
+	}
 	if opt.Faults.Enabled() {
 		env.faults = fault.NewInjector(opt.Faults)
 		// Every processor's first failure is scheduled up front; repairs
@@ -364,6 +370,10 @@ func RunContext(ctx context.Context, t *workload.Trace, s Scheduler, opt Options
 		FailKills:       env.failKills,
 		ImagesLost:      env.imagesLost,
 		LostWorkSeconds: env.lostWork,
+		IORetries:       env.ioRetries,
+		IOExhaustions:   env.ioExhaustions,
+		IODegradations:  env.ioDegradations,
+		IORestores:      env.ioRestores,
 		Events:          env.engine.Steps(),
 		Audit:           env.Audit,
 	}

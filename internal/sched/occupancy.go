@@ -24,10 +24,13 @@ func (r *Result) UtilizationIntegral() (float64, bool) {
 			acquired[e.JobID] = e.Time
 		case ActSuspendDone, ActFinish, ActKill:
 			busy += (e.Time - acquired[e.JobID]) * int64(len(e.Procs))
-		case ActArrive, ActSuspendBegin, ActImageLost, ActProcFail, ActProcRepair, ActTick:
+		case ActArrive, ActSuspendBegin, ActImageLost, ActProcFail, ActProcRepair,
+			ActIORetry, ActIOExhausted, ActIODegraded, ActIORestored, ActTick:
 			// No ownership change: arrivals hold nothing, a suspending
 			// job keeps its processors until ActSuspendDone, a lost
-			// image held none, and processor/tick entries carry no job.
+			// image held none, transient I/O retries and health
+			// transitions move no processors, and processor/tick entries
+			// carry no job.
 		}
 	}
 	return float64(busy) / float64(int64(r.Audit.Procs)*(r.End-r.Start)), true

@@ -15,6 +15,7 @@ import (
 
 	"pjs/internal/cluster"
 	"pjs/internal/fault"
+	"pjs/internal/health"
 	"pjs/internal/job"
 	"pjs/internal/overhead"
 	"pjs/internal/perf"
@@ -103,6 +104,11 @@ type Options struct {
 	// zero value (the default) injects nothing and leaves the run
 	// byte-identical to a build without the fault subsystem.
 	Faults fault.Config
+	// Transient configures deterministic transient suspend/restart I/O
+	// fault injection with bounded retry/backoff and per-processor
+	// health tracking. The zero value (the default) injects nothing and
+	// leaves the run byte-identical to a build without the subsystem.
+	Transient fault.TransientConfig
 	// Checkpoint enables periodic watermark checkpointing (see
 	// lifecycle.go); nil disables it at zero cost.
 	Checkpoint *CheckpointConfig
@@ -143,8 +149,17 @@ type Result struct {
 	// their memory image sat on a failed processor.
 	FailKills, ImagesLost int
 	// LostWorkSeconds totals the compute seconds discarded by failure
-	// kills and stranded images.
+	// kills, stranded images, and exhausted I/O retries.
 	LostWorkSeconds int64
+	// IORetries counts transient suspend-write/restart-read failures
+	// that were retried after backoff; IOExhaustions counts operations
+	// that failed on their final permitted attempt (the job was killed
+	// back to the queue).
+	IORetries, IOExhaustions int
+	// IODegradations counts processors crossing the windowed I/O
+	// failure threshold (excluded from victim selection); IORestores
+	// counts recoveries once the window cleared.
+	IODegradations, IORestores int
 	// Events is the number of engine events the run processed — the
 	// denominator for throughput metrics (events/sec, ns/event).
 	Events int64
@@ -200,13 +215,26 @@ type Env struct {
 	jobs    []*job.Job // all jobs of the run, submission order
 	pending []*pendingStart
 	obs     Observer
-	probe   *perf.Probe     // nil without profiling
-	faults  *fault.Injector // nil without fault injection
+	probe   *perf.Probe              // nil without profiling
+	faults  *fault.Injector          // nil without fault injection
+	trans   *fault.TransientInjector // nil without transient I/O faults
+	health  *health.Tracker          // nil without transient I/O faults
+
+	// ioAttempts tracks, per job ID, the attempt count of the job's
+	// in-flight suspend-write or restart-read operation. Entries are
+	// only written while the operation is outstanding and are
+	// re-initialized at the start of the next one; the map is never
+	// iterated, so it cannot leak ordering into the run.
+	ioAttempts map[int]int
 
 	// Failure tallies for the Result.
 	failures, repairs     int
 	failKills, imagesLost int
 	lostWork              int64
+
+	// Transient-I/O tallies for the Result.
+	ioRetries, ioExhaustions   int
+	ioDegradations, ioRestores int
 
 	// Job-state census for observer snapshots, maintained on every
 	// transition (a handful of integer ops — cheap enough to keep
@@ -311,10 +339,18 @@ func (e *Env) ResumeAnywhere(j *job.Job) bool {
 }
 
 // dispatch records the (re)start, schedules completion and audits.
+// Under transient I/O faults a resume's restart read becomes its own
+// ReadDone event so the read can fail and be retried; without them the
+// read is folded into the completion time exactly as before.
 func (e *Env) dispatch(j *job.Job, readOH int64) {
 	wasSuspended := j.State == job.Suspended
 	done := j.Dispatch(e.Now(), readOH)
-	e.engine.ScheduleCompletion(j, done)
+	if e.trans != nil && wasSuspended {
+		e.ioAttempts[j.ID] = 1
+		e.engine.ScheduleReadDone(j, e.Now()+readOH)
+	} else {
+		e.engine.ScheduleCompletion(j, done)
+	}
 	if wasSuspended {
 		e.nSuspended--
 	} else {
@@ -384,6 +420,9 @@ func (e *Env) beginSuspend(v *job.Job) {
 	e.nRunning--
 	e.nSuspended++
 	e.audit(ActSuspendBegin, v, v.ProcSet)
+	if e.trans != nil {
+		e.ioAttempts[v.ID] = 1
+	}
 	e.engine.ScheduleSuspendDone(v, e.Now()+e.Overhead.WriteTime(v))
 }
 
@@ -409,6 +448,7 @@ func (e *Env) activatePending() {
 
 // HandleArrival implements sim.Handler.
 func (e *Env) HandleArrival(j *job.Job) {
+	e.sweepIOHealth()
 	e.lastArrival = e.Now()
 	e.busyAtLastArrival = e.Cluster.BusyIntegral(e.Now())
 	e.nQueued++
@@ -419,6 +459,7 @@ func (e *Env) HandleArrival(j *job.Job) {
 // HandleCompletion implements sim.Handler: finish bookkeeping, processor
 // release and pending activation happen before the policy reacts.
 func (e *Env) HandleCompletion(j *job.Job) {
+	e.sweepIOHealth()
 	j.Complete(e.Now())
 	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
 	e.nRunning--
@@ -428,13 +469,140 @@ func (e *Env) HandleCompletion(j *job.Job) {
 	e.sched.OnCompletion(j)
 }
 
-// HandleSuspendDone implements sim.Handler.
+// HandleSuspendDone implements sim.Handler. Under transient I/O faults
+// the image write can fail at this point: the job stays Suspending on
+// its processors and the write is retried after backoff, or — on the
+// final permitted attempt — the job is killed back to the queue (its
+// partial image is worthless, like a crashed image write).
 func (e *Env) HandleSuspendDone(j *job.Job) {
+	e.sweepIOHealth()
+	if e.trans != nil {
+		if failing := e.trans.FailingWrite(j.ProcSet); len(failing) > 0 {
+			e.recordIOFailures(failing)
+			if attempt := e.ioAttempts[j.ID]; attempt < e.trans.Config().Attempts() {
+				e.ioRetries++
+				e.audit(ActIORetry, j, j.ProcSet)
+				e.ioAttempts[j.ID] = attempt + 1
+				e.engine.ScheduleIORetry(j, e.Now()+e.trans.Config().Backoff(attempt))
+			} else {
+				e.ioExhaustions++
+				e.audit(ActIOExhausted, j, j.ProcSet)
+				e.failIOTerminal(j, failing[0])
+			}
+			return
+		}
+	}
 	j.SuspendDone()
 	e.Cluster.Release(e.Now(), j.ID, j.ProcSet)
 	e.audit(ActSuspendDone, j, j.ProcSet)
 	e.activatePending()
 	e.sched.OnSuspendDone(j)
+}
+
+// HandleReadDone implements sim.Handler: a restart-image read finished
+// (transient-fault runs only — otherwise reads fold into completions).
+// On success the compute burst's completion is scheduled; on transient
+// failure the read is retried after backoff, the wait charged to the
+// job; on the final failed attempt the job is killed back to the queue.
+func (e *Env) HandleReadDone(j *job.Job) {
+	if failing := e.trans.FailingRead(j.ProcSet); len(failing) > 0 {
+		e.recordIOFailures(failing)
+		if attempt := e.ioAttempts[j.ID]; attempt < e.trans.Config().Attempts() {
+			e.ioRetries++
+			e.audit(ActIORetry, j, j.ProcSet)
+			backoff := e.trans.Config().Backoff(attempt)
+			// The backoff wait plus the repeated read occupy the
+			// processors without compute progress.
+			j.ExtendRead(backoff + e.Overhead.ReadTime(j))
+			e.ioAttempts[j.ID] = attempt + 1
+			e.engine.ScheduleIORetry(j, e.Now()+backoff)
+		} else {
+			e.ioExhaustions++
+			e.audit(ActIOExhausted, j, j.ProcSet)
+			e.failIOTerminal(j, failing[0])
+		}
+		return
+	}
+	e.engine.ScheduleCompletion(j, e.Now()+j.Remaining())
+}
+
+// HandleIORetry implements sim.Handler: a backed-off I/O attempt is
+// due. The operation restarts from scratch — a suspending job re-runs
+// its full image write, a restarting job its full image read.
+func (e *Env) HandleIORetry(j *job.Job) {
+	switch j.State {
+	case job.Suspending:
+		e.engine.ScheduleSuspendDone(j, e.Now()+e.Overhead.WriteTime(j))
+	case job.Running:
+		e.engine.ScheduleReadDone(j, e.Now()+e.Overhead.ReadTime(j))
+	default:
+		// Unreachable: the engine drops IORetry events for any other
+		// state as stale.
+		panic(fmt.Sprintf("sched: io-retry for %v", j))
+	}
+}
+
+// failIOTerminal kills job j after its I/O operation failed on the
+// final permitted attempt: processors are released, all progress is
+// discarded (Resubmits++) and the job returns to the queue via the
+// same displaced-job path a processor failure uses, with p as the
+// summary processor handed to the policy's OnFailure hook.
+func (e *Env) failIOTerminal(j *job.Job, p int) {
+	wasSuspending := j.State == job.Suspending
+	set := j.ProcSet
+	lost := j.Fail(e.Now())
+	e.Cluster.Release(e.Now(), j.ID, set)
+	if wasSuspending {
+		e.nSuspended--
+	} else {
+		e.nRunning--
+	}
+	e.nQueued++
+	e.lostWork += lost
+	e.auditLost(ActKill, j, set, lost)
+	e.activatePending()
+	e.sched.OnFailure(p, []*job.Job{j})
+}
+
+// recordIOFailures charges one transient I/O failure per affected
+// processor to the health tracker, announcing threshold crossings.
+func (e *Env) recordIOFailures(failing []int) {
+	now := e.Now()
+	for _, p := range failing {
+		if e.health.RecordFailure(now, p) {
+			e.ioDegradations++
+			e.auditProc(ActIODegraded, p)
+		}
+	}
+}
+
+// sweepIOHealth clears degradation for processors whose failure window
+// passed. It runs at the driver entry points that precede policy
+// decisions (arrival, completion, suspend-done, tick), so a policy
+// never sees a processor as degraded after its window cleared.
+func (e *Env) sweepIOHealth() {
+	if e.health == nil {
+		return
+	}
+	for _, p := range e.health.Sweep(e.Now()) {
+		e.ioRestores++
+		e.auditProc(ActIORestored, p)
+	}
+}
+
+// IOHealthActive reports whether per-processor I/O health tracking is
+// running (i.e. transient I/O faults are enabled). Policies use it to
+// skip the health filter entirely on the common no-fault path.
+func (e *Env) IOHealthActive() bool { return e.health != nil }
+
+// SetIOHealthy reports whether every processor in set is currently
+// clear of the transient-I/O degradation threshold. Preemptive
+// policies consult it during victim selection so they stop suspending
+// (or resuming onto) jobs whose image I/O would likely fail — under
+// rising failure rates the system degrades smoothly toward pure
+// backfilling. Always true when transient faults are disabled.
+func (e *Env) SetIOHealthy(set []int) bool {
+	return e.health == nil || e.health.Healthy(set)
 }
 
 // HandleProcFail implements sim.Handler: processor p fails. The driver
@@ -573,6 +741,7 @@ func dedupeJobs(jobs []*job.Job) []*job.Job {
 // before the policy reacts, so time-series sinks sample the state the
 // preemption routine is about to act on.
 func (e *Env) HandleTick() {
+	e.sweepIOHealth()
 	if e.obs != nil {
 		e.emit(ActTick, nil, nil)
 	}

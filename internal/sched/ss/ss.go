@@ -207,7 +207,21 @@ func (s *Sched) tryPreempt(j *job.Job, now int64) {
 		return // schedulePass will start it without suspending anyone
 	}
 	span := s.env.Probe().Begin()
-	victims, ok := s.pol.SelectVictims(now, j, s.running, free)
+	cands := s.running
+	if s.env.IOHealthActive() {
+		// Degraded-mode preemption: jobs on processors over the
+		// transient-I/O failure threshold are not victim candidates —
+		// their image write would likely fail. As failure rates rise the
+		// candidate pool empties and SS degrades toward pure backfilling.
+		healthy := make([]*job.Job, 0, len(cands))
+		for _, r := range cands {
+			if s.env.SetIOHealthy(r.ProcSet) {
+				healthy = append(healthy, r)
+			}
+		}
+		cands = healthy
+	}
+	victims, ok := s.pol.SelectVictims(now, j, cands, free)
 	s.env.Probe().End(perf.PhaseVictimSelect, span)
 	if !ok || len(victims) == 0 {
 		return
@@ -239,6 +253,12 @@ func (s *Sched) tryReentry(j *job.Job, now int64) {
 		holder := s.env.JobByID(owner)
 		if holder.State != job.Running {
 			return core.ReentryHard, nil // already suspending for someone else
+		}
+		if !s.env.SetIOHealthy(holder.ProcSet) {
+			// The holder sits on I/O-degraded processors: suspending it
+			// would likely fail the image write, so the set is treated as
+			// hard-blocked until the health window clears.
+			return core.ReentryHard, nil
 		}
 		return core.ReentryPreemptible, holder
 	}

@@ -27,6 +27,13 @@ const (
 	// SuspendDone fires when a suspending job's memory image write
 	// finishes and its processors are released.
 	SuspendDone
+	// ReadDone fires when a restarting job's memory image read finishes
+	// (only scheduled when transient I/O faults are enabled; otherwise
+	// restart reads are folded into the completion time).
+	ReadDone
+	// IORetry fires when a backed-off suspend-write or restart-read
+	// attempt is due to be retried.
+	IORetry
 	// ProcFail fires when a processor fails (fault injection).
 	ProcFail
 	// ProcRepair fires when a failed processor returns to service.
@@ -44,6 +51,10 @@ func (k Kind) String() string {
 		return "completion"
 	case SuspendDone:
 		return "suspend-done"
+	case ReadDone:
+		return "read-done"
+	case IORetry:
+		return "io-retry"
 	case ProcFail:
 		return "proc-fail"
 	case ProcRepair:
@@ -92,6 +103,11 @@ type Handler interface {
 	HandleCompletion(j *job.Job)
 	// HandleSuspendDone is called when j's suspension write completes.
 	HandleSuspendDone(j *job.Job)
+	// HandleReadDone is called when j's restart-image read completes
+	// (transient-fault runs only).
+	HandleReadDone(j *job.Job)
+	// HandleIORetry is called when a backed-off I/O attempt for j is due.
+	HandleIORetry(j *job.Job)
 	// HandleProcFail is called when processor p fails.
 	HandleProcFail(p int)
 	// HandleProcRepair is called when processor p returns to service.
@@ -200,6 +216,26 @@ func (e *Engine) ScheduleSuspendDone(j *job.Job, at int64) {
 	e.push(&Event{Time: at, Kind: SuspendDone, Job: j, Epoch: j.Epoch})
 }
 
+// ScheduleReadDone schedules the end of j's restart-image read at time
+// at, bound to the job's current epoch. Preempting or killing the job
+// invalidates the event.
+func (e *Engine) ScheduleReadDone(j *job.Job, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: read-done for %v scheduled in the past (%d < %d)", j, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: ReadDone, Job: j, Epoch: j.Epoch})
+}
+
+// ScheduleIORetry schedules a backed-off I/O retry for j at time at,
+// bound to the job's current epoch. Any epoch change (preemption, kill,
+// processor failure) invalidates the pending retry.
+func (e *Engine) ScheduleIORetry(j *job.Job, at int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: io-retry for %v scheduled in the past (%d < %d)", j, at, e.now))
+	}
+	e.push(&Event{Time: at, Kind: IORetry, Job: j, Epoch: j.Epoch})
+}
+
 // ScheduleProcFail schedules the failure of processor p at time at.
 func (e *Engine) ScheduleProcFail(p int, at int64) {
 	if at < e.now {
@@ -234,6 +270,11 @@ func stale(ev *Event) bool {
 		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Running
 	case SuspendDone:
 		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Suspending
+	case ReadDone:
+		return ev.Job.Epoch != ev.Epoch || ev.Job.State != job.Running
+	case IORetry:
+		return ev.Job.Epoch != ev.Epoch ||
+			(ev.Job.State != job.Running && ev.Job.State != job.Suspending)
 	case Arrival, Tick, ProcFail, ProcRepair:
 		// Not job-bound: arrivals are externally scheduled, ticks and
 		// processor events carry no job, so none can go stale.
@@ -285,6 +326,14 @@ func (e *Engine) Run() (int64, error) {
 		case SuspendDone:
 			if !stale(ev) {
 				e.handler.HandleSuspendDone(ev.Job)
+			}
+		case ReadDone:
+			if !stale(ev) {
+				e.handler.HandleReadDone(ev.Job)
+			}
+		case IORetry:
+			if !stale(ev) {
+				e.handler.HandleIORetry(ev.Job)
 			}
 		case ProcFail:
 			e.handler.HandleProcFail(ev.Proc)

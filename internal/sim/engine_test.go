@@ -36,6 +36,14 @@ func (h *recordingHandler) HandleSuspendDone(j *job.Job) {
 	h.events = append(h.events, "suspend-done")
 }
 
+func (h *recordingHandler) HandleReadDone(j *job.Job) {
+	h.events = append(h.events, "read-done")
+}
+
+func (h *recordingHandler) HandleIORetry(j *job.Job) {
+	h.events = append(h.events, "io-retry")
+}
+
 func (h *recordingHandler) HandleProcFail(p int)   { h.events = append(h.events, "fail") }
 func (h *recordingHandler) HandleProcRepair(p int) { h.events = append(h.events, "repair") }
 
@@ -135,9 +143,11 @@ func (h *staleHandler) HandleSuspendDone(j *job.Job) {
 	h.eng.ScheduleCompletion(j, done)
 }
 
-func (h *staleHandler) HandleProcFail(p int)   {}
-func (h *staleHandler) HandleProcRepair(p int) {}
-func (h *staleHandler) HandleTick()            {}
+func (h *staleHandler) HandleReadDone(j *job.Job) {}
+func (h *staleHandler) HandleIORetry(j *job.Job)  {}
+func (h *staleHandler) HandleProcFail(p int)      {}
+func (h *staleHandler) HandleProcRepair(p int)    {}
+func (h *staleHandler) HandleTick()               {}
 
 func TestStaleCompletionDropped(t *testing.T) {
 	h := &staleHandler{}
@@ -188,6 +198,8 @@ type dropHandler struct{}
 func (dropHandler) HandleArrival(*job.Job)     {}
 func (dropHandler) HandleCompletion(*job.Job)  {}
 func (dropHandler) HandleSuspendDone(*job.Job) {}
+func (dropHandler) HandleReadDone(*job.Job)    {}
+func (dropHandler) HandleIORetry(*job.Job)     {}
 func (dropHandler) HandleProcFail(int)         {}
 func (dropHandler) HandleProcRepair(int)       {}
 func (dropHandler) HandleTick()                {}
@@ -209,6 +221,8 @@ type abortHandler struct {
 func (h *abortHandler) HandleArrival(*job.Job)     { h.eng.Abort(h.err) }
 func (h *abortHandler) HandleCompletion(*job.Job)  {}
 func (h *abortHandler) HandleSuspendDone(*job.Job) {}
+func (h *abortHandler) HandleReadDone(*job.Job)    {}
+func (h *abortHandler) HandleIORetry(*job.Job)     {}
 func (h *abortHandler) HandleProcFail(int)         {}
 func (h *abortHandler) HandleProcRepair(int)       {}
 func (h *abortHandler) HandleTick()                {}
@@ -254,6 +268,84 @@ func TestProcFailRepairDelivery(t *testing.T) {
 	}
 }
 
+// readRetryHandler models the transient-fault restart path: dispatch
+// schedules a ReadDone, the first ReadDone books a retry, the retry
+// re-schedules the read, and the second ReadDone completes the job.
+type readRetryHandler struct {
+	eng      *Engine
+	reads    int
+	retries  int
+	finished bool
+}
+
+func (h *readRetryHandler) HandleArrival(j *job.Job) {
+	j.Dispatch(h.eng.Now(), 10)
+	h.eng.ScheduleReadDone(j, h.eng.Now()+10)
+}
+
+func (h *readRetryHandler) HandleCompletion(j *job.Job) {
+	j.Complete(h.eng.Now())
+	h.finished = true
+	h.eng.JobFinished()
+}
+
+func (h *readRetryHandler) HandleSuspendDone(j *job.Job) {}
+
+func (h *readRetryHandler) HandleReadDone(j *job.Job) {
+	h.reads++
+	if h.reads == 1 {
+		j.ExtendRead(5 + 10)
+		h.eng.ScheduleIORetry(j, h.eng.Now()+5)
+		return
+	}
+	h.eng.ScheduleCompletion(j, h.eng.Now()+j.Remaining())
+}
+
+func (h *readRetryHandler) HandleIORetry(j *job.Job) {
+	h.retries++
+	h.eng.ScheduleReadDone(j, h.eng.Now()+10)
+}
+
+func (h *readRetryHandler) HandleProcFail(p int)   {}
+func (h *readRetryHandler) HandleProcRepair(p int) {}
+func (h *readRetryHandler) HandleTick()            {}
+
+func TestReadDoneRetryCycle(t *testing.T) {
+	h := &readRetryHandler{}
+	e := New(h, 0)
+	h.eng = e
+	j := job.New(1, 0, 100, 100, 1)
+	e.AddJob(j)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if h.reads != 2 || h.retries != 1 || !h.finished {
+		t.Errorf("reads=%d retries=%d finished=%v, want 2/1/true", h.reads, h.retries, h.finished)
+	}
+	// t=0 dispatch; read fails at 10; retry at 15; read done at 25;
+	// then 100s of compute.
+	if end != 125 {
+		t.Errorf("end = %d, want 125", end)
+	}
+}
+
+// An epoch change (e.g. the job was killed by a processor failure)
+// invalidates pending ReadDone and IORetry events.
+func TestReadDoneIORetryStaleOnEpochChange(t *testing.T) {
+	j := job.New(1, 0, 100, 100, 1)
+	j.Dispatch(0, 10)
+	evRead := &Event{Kind: ReadDone, Job: j, Epoch: j.Epoch}
+	evRetry := &Event{Kind: IORetry, Job: j, Epoch: j.Epoch}
+	if stale(evRead) || stale(evRetry) {
+		t.Fatal("fresh events must not be stale")
+	}
+	j.Fail(5)
+	if !stale(evRead) || !stale(evRetry) {
+		t.Error("events bound to a dead epoch must be stale")
+	}
+}
+
 func TestHeapOrdering(t *testing.T) {
 	var h eventHeap
 	rng := rand.New(rand.NewSource(42))
@@ -282,9 +374,11 @@ func TestHeapTieBreakByKindThenSeq(t *testing.T) {
 	e.push(&Event{Time: 10, Kind: Arrival})
 	e.push(&Event{Time: 10, Kind: ProcRepair})
 	e.push(&Event{Time: 10, Kind: ProcFail})
+	e.push(&Event{Time: 10, Kind: IORetry})
+	e.push(&Event{Time: 10, Kind: ReadDone})
 	e.push(&Event{Time: 10, Kind: SuspendDone})
 	e.push(&Event{Time: 10, Kind: Completion})
-	want := []Kind{Completion, SuspendDone, ProcFail, ProcRepair, Arrival, Tick}
+	want := []Kind{Completion, SuspendDone, ReadDone, IORetry, ProcFail, ProcRepair, Arrival, Tick}
 	for i, k := range want {
 		if got := e.heap.pop().Kind; got != k {
 			t.Fatalf("pop %d = %v, want %v", i, got, k)
@@ -321,6 +415,7 @@ func TestHeapSortProperty(t *testing.T) {
 func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		Completion: "completion", SuspendDone: "suspend-done",
+		ReadDone: "read-done", IORetry: "io-retry",
 		ProcFail: "proc-fail", ProcRepair: "proc-repair",
 		Arrival: "arrival", Tick: "tick",
 	}

@@ -142,6 +142,13 @@ func DiskOverhead() Options { return Options{Overhead: overhead.Disk{}} }
 // disables injection.
 type FaultConfig = fault.Config
 
+// TransientFaultConfig parameterizes deterministic transient I/O fault
+// injection (Options.Transient): per-processor seeded streams that can
+// fail a suspend-image write or restart-image read, triggering bounded
+// retry with exponential backoff in virtual time and, past the attempt
+// cap, a kill-and-requeue. The zero value disables injection.
+type TransientFaultConfig = fault.TransientConfig
+
 // Simulate runs trace t under policy s. It panics on malformed input or
 // an unfinishable run; use SimulateChecked to get an error instead.
 func Simulate(t *Trace, s Scheduler, opt Options) *Result { return sched.Run(t, s, opt) }
