@@ -9,14 +9,22 @@
 //	pjslint ./...              # whole module (the default)
 //	pjslint ./internal/sched   # one subtree
 //	pjslint -json ./...        # one JSON object per finding, one per line
+//	pjslint -sarif ./...       # one SARIF 2.1.0 report on stdout
+//	pjslint -j 4 ./...         # analyze up to 4 packages in parallel
 //	pjslint -list              # describe the checks and exit
+//
+// Packages are analyzed by a bounded worker pool (-j, default capped at
+// the CPU count) but diagnostics are always emitted in sorted package
+// order, so every output mode is byte-identical to a serial run.
 //
 // Findings print as file:line:col: pjslint/<check>: message, or with
 // -json as {"file":...,"line":...,"col":...,"check":...,"message":...}
 // — one object per line, sorted by position, byte-identical across
 // runs, which is what the CI problem matcher and the determinism
-// regression test consume. A finding can be suppressed at one site with
-// a justified directive on the same line or the line above:
+// regression test consume. -sarif renders the same findings as a single
+// SARIF 2.1.0 log for code-scanning upload. A finding can be suppressed
+// at one site with a justified directive on the same line or the line
+// above:
 //
 //	//lint:ignore pjslint/<check> <reason>
 //
@@ -30,7 +38,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"pjs/internal/cli"
 	"pjs/internal/lint"
@@ -58,7 +68,13 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "describe the registered checks and exit")
 	asJSON := fs.Bool("json", false, "emit one JSON diagnostic object per line")
+	asSARIF := fs.Bool("sarif", false, "emit one SARIF 2.1.0 report")
+	workers := fs.Int("j", 0, "packages analyzed in parallel (<=0 means the CPU count)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		stderr.Println("pjslint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -91,39 +107,98 @@ func run(args []string, stdoutW, stderrW io.Writer) int {
 	}
 
 	checks := lint.AllChecks()
-	findings := 0
-	for _, path := range paths {
-		p, err := loader.Load(path)
-		if err != nil {
+	results := lintPackages(loader, paths, checks, *workers)
+
+	// Merge in sorted package order: the pool changes wall-clock, never
+	// bytes. The first load error wins, exactly as in a serial sweep.
+	var diags []lint.Diagnostic
+	for _, r := range results {
+		if r.err != nil {
+			stderr.Println("pjslint:", r.err)
+			return 2
+		}
+		diags = append(diags, r.diags...)
+	}
+
+	switch {
+	case *asSARIF:
+		if err := writeSARIF(stdout, root, diags); err != nil {
 			stderr.Println("pjslint:", err)
 			return 2
 		}
-		for _, d := range lint.Run(p, checks) {
-			findings++
-			if *asJSON {
-				line, err := json.Marshal(jsonDiag{
-					File:    relPath(root, d.Pos.Filename),
-					Line:    d.Pos.Line,
-					Col:     d.Pos.Column,
-					Check:   d.Check,
-					Message: d.Message,
-				})
-				if err != nil {
-					stderr.Println("pjslint:", err)
-					return 2
-				}
-				stdout.Println(string(line))
-				continue
+	case *asJSON:
+		for _, d := range diags {
+			line, err := json.Marshal(jsonDiag{
+				File:    relPath(root, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+			if err != nil {
+				stderr.Println("pjslint:", err)
+				return 2
 			}
+			stdout.Println(string(line))
+		}
+	default:
+		for _, d := range diags {
 			stdout.Println(rel(root, d))
 		}
 	}
 	code := 0
-	if findings > 0 {
-		stderr.Printf("pjslint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		stderr.Printf("pjslint: %d finding(s)\n", len(diags))
 		code = 1
 	}
 	return cli.Exit("pjslint", code, stdout, stderr)
+}
+
+// pkgResult is one package's outcome, slotted by its position in the
+// sorted path list.
+type pkgResult struct {
+	diags []lint.Diagnostic
+	err   error
+}
+
+// lintPackages analyzes the packages with a bounded worker pool. The
+// loader's singleflight cache makes concurrent Load calls (including
+// the cross-package loads some checks issue) safe and shared; results
+// land in path order, so callers see deterministic output regardless of
+// worker count.
+func lintPackages(loader *lint.Loader, paths []string, checks []lint.Check, workers int) []pkgResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]pkgResult, len(paths))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p, err := loader.Load(paths[i])
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				results[i].diags = lint.Run(p, checks)
+			}
+		}()
+	}
+	for i := range paths {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
 }
 
 // expand resolves package patterns ("./...", "dir/...", "dir") into

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis. A
@@ -28,8 +29,13 @@ type Package struct {
 	Info  *types.Info
 
 	loader *Loader
-	cg     *CallGraph
-	cfgs   map[*ast.FuncDecl]*CFG
+	// mu guards the lazily built per-package structures below. Checks
+	// running in parallel workers may touch a foreign package (actparity
+	// imports sched from check/obs) while its own worker analyzes it.
+	mu   sync.Mutex
+	cg   *CallGraph
+	cfgs map[*ast.FuncDecl]*CFG
+	fgs  map[*ast.FuncDecl]*FlowGraph
 }
 
 // Import resolves another module package through the loader that built
@@ -53,10 +59,26 @@ type Loader struct {
 	Root string
 	// Module is the module path declared in go.mod.
 	Module string
-	// Fset is shared across every package the loader touches.
+	// Fset is shared across every package the loader touches (FileSet
+	// methods are internally synchronized).
 	Fset *token.FileSet
 
-	pkgs map[string]*Package
+	// mu guards pkgs and inflight. Load is safe for concurrent use: the
+	// first goroutine to ask for a path type-checks it while later
+	// askers wait on the in-flight entry (imports cannot cycle in Go, so
+	// the waiting cannot deadlock), which keeps every package
+	// type-checked exactly once even under the parallel driver.
+	mu       sync.Mutex
+	pkgs     map[string]*Package
+	inflight map[string]*loadInFlight
+}
+
+// loadInFlight is one package load in progress; done is closed after p
+// and err are set.
+type loadInFlight struct {
+	done chan struct{}
+	p    *Package
+	err  error
 }
 
 // NewLoader builds a loader for the module rooted at root. Standard
@@ -111,11 +133,8 @@ func moduleName(root string) (string, error) {
 
 // Load parses and type-checks the module package with the given import
 // path (the module path itself, or module/sub/dir). Results are cached;
-// a package is only analyzed once per loader.
+// a package is only analyzed once per loader. Safe for concurrent use.
 func (l *Loader) Load(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
-	}
 	dir, ok := l.dirFor(path)
 	if !ok {
 		return nil, fmt.Errorf("lint: %q is not in module %s", path, l.Module)
@@ -126,8 +145,41 @@ func (l *Loader) Load(path string) (*Package, error) {
 // LoadDir parses and type-checks the .go files in dir (test files
 // excluded), registering the result under the import path asPath. The
 // fixture harness uses this to analyze testdata packages under
-// synthetic in-scope paths.
+// synthetic in-scope paths. Safe for concurrent use; concurrent asks
+// for the same path coalesce into one type-check.
 func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[asPath]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	if r, ok := l.inflight[asPath]; ok {
+		l.mu.Unlock()
+		<-r.done
+		return r.p, r.err
+	}
+	r := &loadInFlight{done: make(chan struct{})}
+	if l.inflight == nil {
+		l.inflight = map[string]*loadInFlight{}
+	}
+	l.inflight[asPath] = r
+	l.mu.Unlock()
+
+	p, err := l.loadDir(dir, asPath)
+
+	l.mu.Lock()
+	if err == nil {
+		l.pkgs[asPath] = p
+	}
+	delete(l.inflight, asPath)
+	l.mu.Unlock()
+	r.p, r.err = p, err
+	close(r.done)
+	return p, err
+}
+
+// loadDir does the actual parse and type-check for LoadDir.
+func (l *Loader) loadDir(dir, asPath string) (*Package, error) {
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -139,6 +191,7 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: (*loaderImporter)(l)}
@@ -146,7 +199,7 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", asPath, err)
 	}
-	p := &Package{
+	return &Package{
 		Path:   asPath,
 		Dir:    dir,
 		Fset:   l.Fset,
@@ -154,9 +207,7 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 		Types:  tpkg,
 		Info:   info,
 		loader: l,
-	}
-	l.pkgs[asPath] = p
-	return p, nil
+	}, nil
 }
 
 // dirFor maps a module import path to its directory.

@@ -1,0 +1,119 @@
+// Package allocfree is the fixture corpus for the allocfree check: a
+// //lint:allocfree marker promises that the guarded fast path — the
+// statements that can run before the early-return guard fires, plus
+// everything reachable through static in-package calls — performs no
+// detectable allocation.
+package allocfree
+
+import "fmt"
+
+// Sink mirrors the observer shape: a nil sink is the common case and
+// must cost nothing.
+type Sink struct {
+	vals []int
+	line string
+}
+
+func (s *Sink) log(msg string) { s.line = msg }
+
+// shared is a package-level buffer so the captured-append shape has a
+// non-local target.
+var shared []int
+
+// emit is the clean shape: the only statement on the fast path is the
+// guard itself; the append is slow-path code where allocation is fine.
+//
+//lint:allocfree nil sink
+func (s *Sink) emit(v int) {
+	if s == nil {
+		return
+	}
+	s.vals = append(s.vals, v)
+}
+
+// format allocates before the guard: the formatted string is built even
+// when the sink is nil, which is exactly the regression the runtime
+// zero-alloc tests catch one benchmark too late.
+//
+//lint:allocfree nil sink
+func format(s *Sink, v int) {
+	msg := fmt.Sprintf("v=%d", v) // want "allocates on the //lint:allocfree fast path of format"
+	if s == nil {
+		return
+	}
+	s.log(msg)
+}
+
+// mixbits is the guard-less shape: no early return, so the whole body
+// (pure bit arithmetic) must be allocation-free — and is.
+//
+//lint:allocfree pure bit mixing
+func mixbits(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	return h
+}
+
+// grow allocates in a guard-less marked function.
+//
+//lint:allocfree scratch reset
+func grow(n int) []int {
+	buf := make([]int, n) // want "make allocates on the //lint:allocfree fast path of grow"
+	return buf
+}
+
+// prep appends to a captured (package-level) slice; it is reached from
+// route's fast path, so the finding lands here with the call chain.
+func prep(v int) {
+	shared = append(shared, v) // want "append to a captured slice may allocate .*reached via route"
+}
+
+// route calls an allocating helper before its guard.
+//
+//lint:allocfree nil destination
+func route(dst *Sink, v int) {
+	prep(v)
+	if dst == nil {
+		return
+	}
+	dst.vals = append(dst.vals, v)
+}
+
+// capture creates a closure in a guard-less marked function.
+//
+//lint:allocfree hot comparator
+func capture(base int) func(int) int {
+	f := func(d int) int { return base + d } // want "closure creation allocates"
+	return f
+}
+
+// escape takes the address of a composite literal.
+//
+//lint:allocfree pool refill
+func escape() *Sink {
+	return &Sink{} // want "escaping composite literal"
+}
+
+// sinkAny mirrors an observer-style interface parameter.
+func sinkAny(v any) { _ = v }
+
+// box passes a non-pointer value to an interface parameter.
+//
+//lint:allocfree stat push
+func box(v int) {
+	sinkAny(v) // want "interface boxing of a non-pointer value allocates"
+}
+
+// boxPointer passes a pointer-shaped value: no copy, no finding.
+//
+//lint:allocfree stat push
+func boxPointer(s *Sink) {
+	sinkAny(s)
+}
+
+// unmarked allocates freely: no marker, no contract, no finding.
+func unmarked(n int) []int {
+	out := make([]int, 0, n)
+	out = append(out, n)
+	return out
+}

@@ -15,6 +15,6 @@ func Smuggled() time.Time {
 // Bare is the unadorned ban: the check keeps firing on scheduler code
 // exactly as before the exemption existed.
 func Bare() time.Duration {
-	start := time.Now() // want "time.Now reads the wall clock"
+	start := time.Now()      // want "time.Now reads the wall clock"
 	return time.Since(start) // want "time.Since reads the wall clock"
 }

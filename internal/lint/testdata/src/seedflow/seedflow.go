@@ -1,0 +1,87 @@
+// Package seedflow is the fixture corpus for the seedflow check: RNG
+// seeds must derive from explicitly threaded configuration values, never
+// from map iteration order or pointer identity. (The time-derived-seed
+// shape is pinned by the seeded-deletion regression test instead — this
+// fixture sits under pjs/internal/, where importing time would trip the
+// wallclock rule in the cross-check.)
+package seedflow
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// Config carries the explicitly threaded seed.
+type Config struct {
+	Seed int64
+}
+
+// mix mirrors the fault injector's splitmix64 finalizer: pure bit
+// mixing, so a tainted input taints the output and a clean one stays
+// clean.
+func mix(seed, lane uint64) uint64 {
+	z := seed + lane*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// threaded is the sanctioned shape: seed from config, derived lanes
+// through the pure mixer.
+func threaded(cfg Config, lane uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix(uint64(cfg.Seed), lane))))
+}
+
+// fromMapIter seeds from whichever key a map range yields first.
+func fromMapIter(weights map[int]float64) *rand.Rand {
+	var first int64
+	for k := range weights {
+		first = int64(k)
+		break
+	}
+	return rand.New(rand.NewSource(first)) // want "map iteration order flows into an RNG seed"
+}
+
+// fromPointer seeds from an object's address.
+func fromPointer(cfg *Config) *rand.Rand {
+	addr := int64(uintptr(unsafe.Pointer(cfg)))
+	return rand.New(rand.NewSource(addr)) // want "pointer identity flows into an RNG seed"
+}
+
+// fromReflect seeds from a reflected pointer value.
+func fromReflect(cfg *Config) *rand.Rand {
+	v := int64(reflect.ValueOf(cfg).Pointer())
+	return rand.New(rand.NewSource(v)) // want "pointer identity flows into an RNG seed"
+}
+
+// mixedLane launders a map-derived lane through the pure mixer; the
+// summary carries the taint through the helper.
+func mixedLane(cfg Config, weights map[int]float64) *rand.Rand {
+	var lane uint64
+	for k := range weights {
+		lane = uint64(k)
+	}
+	return rand.New(rand.NewSource(int64(mix(uint64(cfg.Seed), lane)))) // want "map iteration order flows into an RNG seed"
+}
+
+// sortedKeys is the clean counterpart: iteration feeds a count, not the
+// seed.
+func sortedKeys(cfg Config, weights map[int]float64) *rand.Rand {
+	n := 0
+	for range weights {
+		n++
+	}
+	_ = n
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// suppressed documents a justified exception.
+func suppressed(weights map[int]float64) *rand.Rand {
+	var first int64
+	for k := range weights {
+		first = int64(k)
+		break
+	}
+	//lint:ignore pjslint/seedflow fixture demonstrates a justified suppression
+	return rand.New(rand.NewSource(first))
+}

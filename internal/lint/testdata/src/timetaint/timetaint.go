@@ -1,0 +1,116 @@
+// Package timetaint is the fixture corpus for the timetaint check: the
+// local Clock, Probe, Entry, Event, Snapshot and AuditLog declarations
+// mirror the shapes of internal/perf and internal/sched, so the
+// name-based source/sink classification resolves against this package
+// alone.
+package timetaint
+
+// Clock mirrors perf.Clock: calling a value of this type is a timing
+// source.
+type Clock func() int64
+
+// Probe mirrors perf.Probe; Begin is a timing source.
+type Probe struct {
+	clock Clock
+}
+
+// Begin mirrors the probe fast path.
+func (p *Probe) Begin() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.clock()
+}
+
+// Entry mirrors the audit entry; constructing one is a sink.
+type Entry struct {
+	Time int64
+	Act  int
+}
+
+// Event mirrors the observer event; constructing one is a sink.
+type Event struct {
+	Time int64
+}
+
+// Snapshot mirrors the checkpoint payload; constructing one is a sink.
+type Snapshot struct {
+	Now  int64
+	Mark uint64
+}
+
+// AuditLog mirrors the audit funnel; add is a sink.
+type AuditLog struct {
+	entries []Entry
+}
+
+func (a *AuditLog) add(t int64, act int) {
+	a.entries = append(a.entries, Entry{Time: t, Act: act})
+}
+
+// virtualNow stands in for the engine's virtual clock: no taint.
+func virtualNow() int64 { return 42 }
+
+// direct flows a clock reading straight into an entry literal.
+func direct(c Clock) Entry {
+	return Entry{Time: c()} // want "timing value flows into an audit entry"
+}
+
+// laundered stashes the reading in a local and mixes arithmetic in
+// before it reaches the audit log — the flow the syntactic rules miss.
+func laundered(c Clock, lg *AuditLog) {
+	t := c()
+	u := t + 5
+	lg.add(u, 1) // want "timing value flows into the audit log"
+}
+
+// stamp is a helper whose return value carries its argument's taint.
+func stamp(c Clock) int64 { return c() }
+
+// twoHop reaches the sink through stamp's summary.
+func twoHop(c Clock) Snapshot {
+	return Snapshot{Now: stamp(c)} // want "timing value flows into a checkpoint payload"
+}
+
+// record is a helper whose parameter reaches the audit sink, making
+// tainted arguments a finding at the call site.
+func record(lg *AuditLog, v int64) {
+	lg.add(v, 2)
+}
+
+// sinkParam passes a probe reading into record.
+func sinkParam(p *Probe, lg *AuditLog) {
+	span := p.Begin()
+	record(lg, span) // want "timing value flows into a sink reached through record"
+}
+
+// joined taints only one branch; the merge still reaches the sink.
+func joined(c Clock, cond bool) Event {
+	t := virtualNow()
+	if cond {
+		t = c()
+	}
+	return Event{Time: t} // want "timing value flows into an observer event"
+}
+
+// virtualOnly is the clean shape: virtual time may flow anywhere.
+func virtualOnly(lg *AuditLog) Event {
+	now := virtualNow()
+	lg.add(now, 3)
+	return Event{Time: now}
+}
+
+// suppressed documents the one sanctioned leak shape with a justified
+// directive.
+func suppressed(c Clock) Event {
+	//lint:ignore pjslint/timetaint fixture demonstrates a justified suppression
+	return Event{Time: c()}
+}
+
+// overwritten kills the taint before the sink: a strong update makes
+// the flow clean again.
+func overwritten(c Clock) Entry {
+	t := c()
+	t = virtualNow()
+	return Entry{Time: t}
+}

@@ -109,6 +109,8 @@ const (
 )
 
 // mix64 folds the eight bytes of v into the running FNV-1a hash.
+//
+//lint:allocfree always, pure bit arithmetic
 func mix64(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
 		h ^= v & 0xff
@@ -123,6 +125,8 @@ func mix64(h, v uint64) uint64 {
 // keyed on — time, action, job identity and processor set — so equal
 // hashes over equal entry counts imply byte-identical audit prefixes
 // for the same workload.
+//
+//lint:allocfree hashing disabled
 func (e *Env) mixEntry(act Action, id int, procs []int) {
 	if !e.hashOn {
 		return

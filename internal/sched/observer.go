@@ -72,12 +72,16 @@ type Observer interface {
 // that an unobserved run pays only a predicted branch; the snapshot
 // scan (O(jobs) for the max queued xfactor) runs only when a sink is
 // attached.
+//
+//lint:allocfree nil observer
 func (e *Env) emit(act Action, j *job.Job, procs []int) {
 	e.emitLost(act, j, procs, 0)
 }
 
 // emitLost is emit with an explicit lost-work annotation, used by the
 // failure paths; the common emit wrapper passes zero.
+//
+//lint:allocfree nil observer
 func (e *Env) emitLost(act Action, j *job.Job, procs []int, lost int64) {
 	if e.obs == nil {
 		return
